@@ -1,0 +1,45 @@
+// Ablation: delta, the preempting-task window (Algorithm 1).
+//
+// DSP only considers the first delta fraction of each waiting queue as
+// preemptors "to save overhead" (§IV-B), and adapts delta to the observed
+// preemption rate. This bench sweeps fixed deltas against the adaptive
+// controller.
+#include <cstdio>
+
+#include "bench_common.h"
+
+int main() {
+  using namespace dsp::bench;
+  using namespace dsp;
+  BenchEnv env;
+  print_bench_header("Ablation: delta window (Algorithm 1)", env);
+
+  const std::size_t jobs_n = 300;
+  const auto jobs = make_workload(jobs_n, env.scale, env.seed);
+  const ClusterSpec cluster = ClusterSpec::ec2();
+
+  Table table("delta sweep: " + std::to_string(jobs_n) + " jobs, EC2 profile");
+  table.set_header({"delta", "preemptions", "throughput(t/ms)", "makespan(s)",
+                    "avg-wait(s)", "final-delta"});
+
+  auto run_variant = [&](const std::string& name, double delta, bool adaptive) {
+    DspParams params;
+    params.delta = delta;
+    params.adaptive_delta = adaptive;
+    DspScheduler sched;
+    DspPreemption policy(params);
+    const RunMetrics m =
+        simulate(cluster, jobs, sched, &policy, paper_engine_params());
+    table.add_row({name, fmt_count(static_cast<long long>(m.preemptions)),
+                   fmt(m.throughput_tasks_per_ms(), 4),
+                   fmt(to_seconds(m.makespan)), fmt(m.avg_job_waiting_s()),
+                   fmt(policy.current_delta(), 3)});
+  };
+
+  for (double delta : {0.1, 0.35, 0.6, 0.9})
+    run_variant("fixed " + fmt(delta, 2), delta, false);
+  run_variant("adaptive (0.35 start)", 0.35, true);
+
+  std::fputs(table.render().c_str(), stdout);
+  return 0;
+}

@@ -1,0 +1,107 @@
+// Ablation: fault tolerance (the paper's §VI future work).
+//
+// Injects node outages at increasing rates and stragglers, comparing DSP
+// against the preemption baselines. Checkpoint-restart pays off: DSP and
+// the checkpointed baselines lose little work, while SRPT (no checkpoints)
+// re-executes everything its failed nodes had in flight.
+#include <cstdio>
+
+#include "bench_common.h"
+#include "sim/failures.h"
+
+namespace {
+
+dsp::RunMetrics run_with_plan(dsp::bench::PolicyKind policy,
+                              const dsp::ClusterSpec& cluster,
+                              const dsp::JobSet& jobs,
+                              const dsp::FailurePlan& plan) {
+  using namespace dsp;
+  DspScheduler scheduler;
+  const auto p = dsp::bench::make_policy(policy);
+  Engine engine(cluster, jobs, scheduler, p.get(),
+                dsp::bench::paper_engine_params());
+  if (!plan.empty()) engine.set_failure_plan(plan);
+  return engine.run();
+}
+
+}  // namespace
+
+int main() {
+  using namespace dsp::bench;
+  using namespace dsp;
+  BenchEnv env;
+  print_bench_header("Ablation: node failures and stragglers", env);
+
+  const std::size_t jobs_n = 300;
+  const auto jobs = make_workload(jobs_n, env.scale, env.seed);
+  const ClusterSpec cluster = ClusterSpec::ec2();
+  const SimTime horizon = 40 * kHour;
+
+  // ---- Outage-rate sweep for DSP --------------------------------------
+  Table sweep("DSP under increasing outage rates (300 jobs, EC2 profile)");
+  sweep.set_header({"MTBF(h)", "failures", "tasks-killed", "makespan(s)",
+                    "throughput(t/ms)", "work-lost(MI)"});
+  for (double mtbf_hours : {0.0, 8.0, 4.0, 2.0, 1.0}) {
+    FailurePlan plan;
+    if (mtbf_hours > 0.0)
+      plan = FailurePlan::random_outages(cluster, horizon, mtbf_hours,
+                                         /*mttr_minutes=*/5.0, env.seed + 1);
+    const RunMetrics m = run_with_plan(PolicyKind::kDsp, cluster, jobs, plan);
+    sweep.add_row({mtbf_hours == 0.0 ? "none" : fmt(mtbf_hours, 1),
+                   fmt_count(static_cast<long long>(m.node_failures)),
+                   fmt_count(static_cast<long long>(m.tasks_killed_by_failure)),
+                   fmt(to_seconds(m.makespan)),
+                   fmt(m.throughput_tasks_per_ms(), 4), fmt(m.work_lost_mi, 0)});
+  }
+  std::fputs(sweep.render().c_str(), stdout);
+  std::fputs("\n", stdout);
+
+  // ---- Policy comparison under a fixed failure plan --------------------
+  const FailurePlan shared =
+      FailurePlan::random_outages(cluster, horizon, 4.0, 5.0, env.seed + 2);
+  Table cmp("preemption policies under MTBF=4h outages");
+  cmp.set_header({"policy", "makespan(s)", "throughput(t/ms)", "tasks-killed",
+                  "work-lost(MI)"});
+  for (PolicyKind policy : {PolicyKind::kDsp, PolicyKind::kDspNoPp,
+                            PolicyKind::kAmoeba, PolicyKind::kNatjam,
+                            PolicyKind::kSrpt}) {
+    const RunMetrics m = run_with_plan(policy, cluster, jobs, shared);
+    cmp.add_row({to_string(policy), fmt(to_seconds(m.makespan)),
+                 fmt(m.throughput_tasks_per_ms(), 4),
+                 fmt_count(static_cast<long long>(m.tasks_killed_by_failure)),
+                 fmt(m.work_lost_mi, 0)});
+  }
+  std::fputs(cmp.render().c_str(), stdout);
+  std::fputs("\n", stdout);
+
+  // ---- Straggler impact and mitigation ---------------------------------
+  Table strag("DSP under stragglers (0.4x nodes), with/without mitigation");
+  strag.set_header(
+      {"straggler-load", "mitigation", "makespan(s)", "throughput(t/ms)"});
+  struct Level {
+    const char* name;
+    SimTime mean_gap;
+  };
+  for (const Level& level : {Level{"none", 0}, Level{"light", 2 * kHour},
+                             Level{"heavy", 30 * kMinute}}) {
+    FailurePlan plan;
+    if (level.mean_gap > 0)
+      plan = FailurePlan::random_stragglers(cluster, horizon, level.mean_gap,
+                                            10 * kMinute, 0.4, env.seed + 3);
+    for (bool mitigate : {false, true}) {
+      DspScheduler scheduler;
+      DspParams params;
+      params.straggler_mitigation = mitigate;
+      DspPreemption policy(params);
+      Engine engine(cluster, jobs, scheduler, &policy, paper_engine_params());
+      if (!plan.empty()) engine.set_failure_plan(plan);
+      const RunMetrics m = engine.run();
+      strag.add_row({level.name, mitigate ? "on" : "off",
+                     fmt(to_seconds(m.makespan)),
+                     fmt(m.throughput_tasks_per_ms(), 4)});
+      if (level.mean_gap == 0) break;  // identical with no stragglers
+    }
+  }
+  std::fputs(strag.render().c_str(), stdout);
+  return 0;
+}

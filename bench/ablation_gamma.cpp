@@ -1,0 +1,41 @@
+// Ablation: gamma, the level-weighting coefficient of Formula 12.
+//
+// gamma in (0,1) controls how strongly higher-level tasks (those whose
+// completion unlocks deeper subtrees) are prioritized. gamma -> 0 flattens
+// the dependency signal toward plain leaf priorities; larger gamma
+// amplifies it. The paper sets gamma = 0.5 (Table II) and defers the
+// sensitivity study to future work — this bench is that study.
+#include <cstdio>
+
+#include "bench_common.h"
+
+int main() {
+  using namespace dsp::bench;
+  using namespace dsp;
+  BenchEnv env;
+  print_bench_header("Ablation: gamma (Formula 12 level weighting)", env);
+
+  const std::size_t jobs_n = 300;
+  const auto jobs = make_workload(jobs_n, env.scale, env.seed);
+  const ClusterSpec cluster = ClusterSpec::ec2();
+
+  Table table("gamma sweep: " + std::to_string(jobs_n) + " jobs, EC2 profile");
+  table.set_header({"gamma", "throughput(t/ms)", "makespan(s)", "avg-wait(s)",
+                    "preemptions", "deadline-met"});
+  for (double gamma : {0.1, 0.3, 0.5, 0.7, 0.9}) {
+    DspParams params;
+    params.gamma = gamma;
+    DspScheduler::Options sopts;
+    sopts.gamma = gamma;
+    DspScheduler sched(sopts);
+    DspPreemption policy(params);
+    const RunMetrics m =
+        simulate(cluster, jobs, sched, &policy, paper_engine_params());
+    table.add_row({fmt(gamma, 1), fmt(m.throughput_tasks_per_ms(), 4),
+                   fmt(to_seconds(m.makespan)), fmt(m.avg_job_waiting_s()),
+                   fmt_count(static_cast<long long>(m.preemptions)),
+                   fmt_count(static_cast<long long>(m.jobs_met_deadline))});
+  }
+  std::fputs(table.render().c_str(), stdout);
+  return 0;
+}

@@ -1,0 +1,53 @@
+// Ablation: normalized-priority preemption (PP).
+//
+// Sweeps rho (the PP gap threshold) and compares against PP disabled
+// (DSPW/oPP). Expectation (paper §IV-B): PP cuts the preemption count —
+// removing churn preemptions whose context-switch cost exceeds their
+// throughput gain — without hurting (and usually helping) throughput.
+#include <cstdio>
+
+#include "bench_common.h"
+
+int main() {
+  using namespace dsp::bench;
+  using namespace dsp;
+  BenchEnv env;
+  print_bench_header("Ablation: normalized-priority preemption (PP)", env);
+
+  const std::size_t jobs_n = 300;
+  const auto jobs = make_workload(jobs_n, env.scale, env.seed);
+  const ClusterSpec cluster = ClusterSpec::ec2();
+
+  struct Variant {
+    std::string name;
+    bool pp;
+    double rho;
+  };
+  // rho acts as a rank-distance threshold (see DspParams::rho): the sweep
+  // spans "no filtering" through "suppress everything but rank-distant
+  // swaps".
+  const std::vector<Variant> variants{
+      {"no-PP", false, 0.0},    {"rho=10", true, 10.0},
+      {"rho=100", true, 100.0}, {"rho=200", true, 200.0},
+      {"rho=500", true, 500.0}, {"rho=2000", true, 2000.0},
+  };
+
+  Table table("PP ablation: " + std::to_string(jobs_n) + " jobs, EC2 profile");
+  table.set_header({"variant", "preemptions", "suppressed", "throughput(t/ms)",
+                    "makespan(s)", "avg-wait(s)"});
+  for (const auto& v : variants) {
+    DspParams params;
+    params.normalized_pp = v.pp;
+    if (v.pp) params.rho = v.rho;
+    DspScheduler sched;
+    DspPreemption policy(params);
+    const RunMetrics m =
+        simulate(cluster, jobs, sched, &policy, paper_engine_params());
+    table.add_row({v.name, fmt_count(static_cast<long long>(m.preemptions)),
+                   fmt_count(static_cast<long long>(m.suppressed_preemptions)),
+                   fmt(m.throughput_tasks_per_ms(), 4),
+                   fmt(to_seconds(m.makespan)), fmt(m.avg_job_waiting_s())});
+  }
+  std::fputs(table.render().c_str(), stdout);
+  return 0;
+}

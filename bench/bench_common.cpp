@@ -1,0 +1,97 @@
+#include "bench_common.h"
+
+#include <cstdio>
+
+namespace dsp::bench {
+
+JobSet make_workload(std::size_t jobs, double scale, std::uint64_t seed) {
+  WorkloadConfig cfg;
+  cfg.job_count = jobs;
+  cfg.task_scale = scale;
+  return WorkloadGenerator(cfg, seed).generate();
+}
+
+EngineParams paper_engine_params() {
+  EngineParams p;
+  p.period = 5 * kMinute;  // paper §V: "ran the scheduling periodically
+                           // every 5mins"
+  p.epoch = 30 * kSecond;
+  return p;
+}
+
+const char* to_string(SchedKind k) {
+  switch (k) {
+    case SchedKind::kDsp: return "DSP";
+    case SchedKind::kAalo: return "Aalo";
+    case SchedKind::kTetrisSimDep: return "TetrisW/SimDep";
+    case SchedKind::kTetrisNoDep: return "TetrisW/oDep";
+  }
+  return "?";
+}
+
+std::unique_ptr<Scheduler> make_scheduler(SchedKind k) {
+  switch (k) {
+    case SchedKind::kDsp: return std::make_unique<DspScheduler>();
+    case SchedKind::kAalo: return std::make_unique<AaloScheduler>();
+    case SchedKind::kTetrisSimDep:
+      return std::make_unique<TetrisScheduler>(
+          TetrisScheduler::Dependency::kSimple);
+    case SchedKind::kTetrisNoDep:
+      return std::make_unique<TetrisScheduler>(
+          TetrisScheduler::Dependency::kNone);
+  }
+  return nullptr;
+}
+
+const char* to_string(PolicyKind k) {
+  switch (k) {
+    case PolicyKind::kDsp: return "DSP";
+    case PolicyKind::kDspNoPp: return "DSPW/oPP";
+    case PolicyKind::kAmoeba: return "Amoeba";
+    case PolicyKind::kNatjam: return "Natjam";
+    case PolicyKind::kSrpt: return "SRPT";
+  }
+  return "?";
+}
+
+std::unique_ptr<PreemptionPolicy> make_policy(PolicyKind k) {
+  switch (k) {
+    case PolicyKind::kDsp: return std::make_unique<DspPreemption>();
+    case PolicyKind::kDspNoPp: {
+      DspParams params;
+      params.normalized_pp = false;
+      return std::make_unique<DspPreemption>(params);
+    }
+    case PolicyKind::kAmoeba: return std::make_unique<AmoebaPolicy>();
+    case PolicyKind::kNatjam: return std::make_unique<NatjamPolicy>();
+    case PolicyKind::kSrpt: return std::make_unique<SrptPolicy>();
+  }
+  return nullptr;
+}
+
+RunMetrics run_scheduler(SchedKind kind, const ClusterSpec& cluster,
+                         const JobSet& jobs) {
+  const auto scheduler = make_scheduler(kind);
+  // Fig. 5 compares the *full* DSP system against scheduling-only
+  // baselines: DSP keeps its online preemption; the baselines have none.
+  std::unique_ptr<PreemptionPolicy> policy;
+  if (kind == SchedKind::kDsp) policy = make_policy(PolicyKind::kDsp);
+  return simulate(cluster, jobs, *scheduler, policy.get(),
+                  paper_engine_params());
+}
+
+RunMetrics run_policy(PolicyKind kind, const ClusterSpec& cluster,
+                      const JobSet& jobs) {
+  DspScheduler scheduler;  // DSP's initial schedule for every method
+  const auto policy = make_policy(kind);
+  return simulate(cluster, jobs, scheduler, policy.get(),
+                  paper_engine_params());
+}
+
+void print_bench_header(const std::string& name, const BenchEnv& env) {
+  std::printf("### %s  (DSP_SCALE=%g DSP_SEED=%llu DSP_POINTS=%zu)\n\n",
+              name.c_str(), env.scale,
+              static_cast<unsigned long long>(env.seed), env.points);
+}
+
+}  // namespace dsp::bench

@@ -1,0 +1,80 @@
+// Shared harness for the figure-reproduction benches.
+//
+// Scaling: the paper runs up to 750 jobs x up to 2000 tasks for hours on
+// 50 physical servers. The benches keep the paper's job counts and
+// small/medium/large mix but scale per-job task counts by DSP_SCALE
+// (default 0.05). Override with:
+//   DSP_SCALE=1.0  paper-scale task counts (slow)
+//   DSP_SEED=7     workload seed
+//   DSP_POINTS=3   how many x-axis points to run (default all 5)
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "baselines/aalo.h"
+#include "baselines/preempt_baselines.h"
+#include "baselines/tetris.h"
+#include "core/dsp_system.h"
+#include "metrics/report.h"
+#include "sim/cluster.h"
+#include "trace/workload.h"
+#include "util/env.h"
+
+namespace dsp::bench {
+
+/// Environment-configured bench settings.
+struct BenchEnv {
+  double scale = env_double("DSP_SCALE", 0.1);
+  std::uint64_t seed = static_cast<std::uint64_t>(env_int("DSP_SEED", 42));
+  std::size_t points = static_cast<std::size_t>(env_int("DSP_POINTS", 5));
+
+  /// The paper's Fig. 5-7 x-axis: 150..750 step 150 (truncated to
+  /// `points`).
+  std::vector<long long> job_counts() const {
+    std::vector<long long> xs{150, 300, 450, 600, 750};
+    if (xs.size() > points) xs.resize(points);
+    return xs;
+  }
+
+  /// The paper's Fig. 8 x-axis: 500..2500 step 500.
+  std::vector<long long> scalability_counts() const {
+    std::vector<long long> xs{500, 1000, 1500, 2000, 2500};
+    if (xs.size() > points) xs.resize(points);
+    return xs;
+  }
+};
+
+/// Generates the paper's workload for `jobs` jobs at the given scale.
+JobSet make_workload(std::size_t jobs, double scale, std::uint64_t seed);
+
+/// Engine parameters used by all figure benches (paper: scheduling every
+/// 5 minutes; preemption each epoch).
+EngineParams paper_engine_params();
+
+/// Scheduler identifiers for Fig. 5.
+enum class SchedKind { kDsp, kAalo, kTetrisSimDep, kTetrisNoDep };
+const char* to_string(SchedKind k);
+std::unique_ptr<Scheduler> make_scheduler(SchedKind k);
+
+/// Preemption-policy identifiers for Fig. 6/7.
+enum class PolicyKind { kDsp, kDspNoPp, kAmoeba, kNatjam, kSrpt };
+const char* to_string(PolicyKind k);
+std::unique_ptr<PreemptionPolicy> make_policy(PolicyKind k);
+
+/// One full run: scheduler alone (policy == nullptr case is expressed by
+/// passing std::nullopt-like kNone? — figure benches pass what they need).
+RunMetrics run_scheduler(SchedKind sched, const ClusterSpec& cluster,
+                         const JobSet& jobs);
+
+/// One preemption run on DSP's initial schedule (paper: "we use our
+/// initial schedule for all preemption methods").
+RunMetrics run_policy(PolicyKind policy, const ClusterSpec& cluster,
+                      const JobSet& jobs);
+
+/// Prints a one-line header for a bench binary.
+void print_bench_header(const std::string& name, const BenchEnv& env);
+
+}  // namespace dsp::bench

@@ -1,0 +1,46 @@
+// Figure 5: makespan vs number of jobs for the scheduling methods.
+//   5(a) real cluster (50 nodes)   5(b) Amazon EC2 (30 nodes)
+// Methods: DSP, Aalo, TetrisW/SimDep, TetrisW/oDep.
+// Paper shape: makespan grows with job count and orders
+//   DSP < Aalo < TetrisW/SimDep < TetrisW/oDep.
+#include <cstdio>
+
+#include "bench_common.h"
+
+namespace dsp::bench {
+namespace {
+
+void run_testbed(const char* title, const ClusterSpec& cluster,
+                 const BenchEnv& env) {
+  const std::vector<SchedKind> methods{SchedKind::kDsp, SchedKind::kAalo,
+                                       SchedKind::kTetrisSimDep,
+                                       SchedKind::kTetrisNoDep};
+  std::vector<std::string> names;
+  for (auto m : methods) names.emplace_back(to_string(m));
+  MetricSeries series(names, env.job_counts());
+
+  for (std::size_t xi = 0; xi < env.job_counts().size(); ++xi) {
+    const auto jobs = make_workload(
+        static_cast<std::size_t>(env.job_counts()[xi]), env.scale, env.seed);
+    for (std::size_t mi = 0; mi < methods.size(); ++mi)
+      series.set(mi, xi, run_scheduler(methods[mi], cluster, jobs));
+  }
+
+  std::fputs(series.makespan_table(std::string(title) + ": makespan (s) vs #jobs")
+                 .render()
+                 .c_str(),
+             stdout);
+  std::fputs("\n", stdout);
+}
+
+}  // namespace
+}  // namespace dsp::bench
+
+int main() {
+  using namespace dsp::bench;
+  const BenchEnv env;
+  print_bench_header("Figure 5: makespan of scheduling methods", env);
+  run_testbed("Fig 5(a) real cluster", dsp::ClusterSpec::real_cluster(), env);
+  run_testbed("Fig 5(b) Amazon EC2", dsp::ClusterSpec::ec2(), env);
+  return 0;
+}

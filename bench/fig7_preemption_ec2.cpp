@@ -1,0 +1,11 @@
+// Figure 7: the Fig. 6 preemption comparison repeated on Amazon EC2
+// (30 nodes). The paper's cross-testbed observations: waiting times are
+// longer and preemptions more frequent than on the (larger, faster) real
+// cluster, with the same method ordering.
+#define DSP_FIG6_NO_MAIN
+#include "fig6_preemption_cluster.cpp"
+
+int main() {
+  dsp::bench::run_preemption_figure("Fig 7", dsp::ClusterSpec::ec2());
+  return 0;
+}

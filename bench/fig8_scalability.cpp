@@ -1,0 +1,41 @@
+// Figure 8: DSP scalability — makespan (a) and throughput (b) as the job
+// count grows from 500 to 2500 on both testbeds. Paper shape: makespan
+// grows and throughput decays gradually, flattening at high job counts.
+#include <cstdio>
+
+#include "bench_common.h"
+
+namespace dsp::bench {
+namespace {
+
+void run() {
+  BenchEnv env;
+  print_bench_header("Figure 8: DSP scalability", env);
+
+  const std::vector<std::string> testbeds{"real-cluster", "EC2"};
+  MetricSeries series(testbeds, env.scalability_counts());
+
+  for (std::size_t xi = 0; xi < env.scalability_counts().size(); ++xi) {
+    const auto jobs = make_workload(
+        static_cast<std::size_t>(env.scalability_counts()[xi]), env.scale,
+        env.seed);
+    series.set(0, xi,
+               run_scheduler(SchedKind::kDsp, ClusterSpec::real_cluster(), jobs));
+    series.set(1, xi, run_scheduler(SchedKind::kDsp, ClusterSpec::ec2(), jobs));
+  }
+
+  std::fputs(series.makespan_table("Fig 8(a): DSP makespan (s) vs #jobs")
+                 .render().c_str(), stdout);
+  std::fputs("\n", stdout);
+  std::fputs(series.throughput_table("Fig 8(b): DSP throughput (tasks/ms) vs #jobs")
+                 .render().c_str(), stdout);
+  std::fputs("\n", stdout);
+}
+
+}  // namespace
+}  // namespace dsp::bench
+
+int main() {
+  dsp::bench::run();
+  return 0;
+}

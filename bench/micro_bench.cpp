@@ -1,0 +1,137 @@
+// google-benchmark micro-benchmarks for the hot paths: DAG analytics,
+// priority computation, simplex pivoting, workload generation, and raw
+// simulator event throughput.
+#include <benchmark/benchmark.h>
+
+#include "core/dsp_scheduler.h"
+#include "core/dsp_system.h"
+#include "core/priority.h"
+#include "lp/simplex.h"
+#include "sim/engine.h"
+#include "trace/workload.h"
+#include "util/rng.h"
+
+namespace dsp {
+namespace {
+
+Job make_bench_job(std::size_t tasks, std::uint64_t seed) {
+  WorkloadConfig cfg;
+  cfg.task_scale = static_cast<double>(tasks) / 1000.0;
+  WorkloadGenerator gen(cfg, seed);
+  return gen.make_job(0, JobSize::kMedium, 0);
+}
+
+// ---------------------------------------------------------------------
+
+void BM_TaskGraphFinalize(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    state.PauseTiming();
+    Rng rng(7);
+    TaskGraph g(n);
+    for (std::size_t e = 0; e < n * 2; ++e) {
+      const auto a = static_cast<TaskIndex>(
+          rng.uniform_int(0, static_cast<std::int64_t>(n) - 2));
+      const auto b = static_cast<TaskIndex>(
+          rng.uniform_int(a + 1, static_cast<std::int64_t>(n) - 1));
+      g.add_edge(a, b);
+    }
+    state.ResumeTiming();
+    benchmark::DoNotOptimize(g.finalize());
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_TaskGraphFinalize)->Arg(100)->Arg(1000)->Arg(5000);
+
+void BM_DependencyWeights(benchmark::State& state) {
+  const Job job = make_bench_job(static_cast<std::size_t>(state.range(0)), 13);
+  for (auto _ : state)
+    benchmark::DoNotOptimize(DspScheduler::dependency_weights(job, 0.5));
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(job.task_count()));
+}
+BENCHMARK(BM_DependencyWeights)->Arg(100)->Arg(1000);
+
+void BM_DependsOnQuery(benchmark::State& state) {
+  const Job job = make_bench_job(1000, 17);
+  const TaskGraph& g = job.graph();
+  Rng rng(19);
+  for (auto _ : state) {
+    const auto a = static_cast<TaskIndex>(
+        rng.uniform_int(0, static_cast<std::int64_t>(job.task_count()) - 1));
+    const auto b = static_cast<TaskIndex>(
+        rng.uniform_int(0, static_cast<std::int64_t>(job.task_count()) - 1));
+    benchmark::DoNotOptimize(a == b ? false : g.depends_on(a, b));
+  }
+}
+BENCHMARK(BM_DependsOnQuery);
+
+void BM_WorkloadGeneration(benchmark::State& state) {
+  for (auto _ : state) {
+    WorkloadConfig cfg;
+    cfg.job_count = static_cast<std::size_t>(state.range(0));
+    cfg.task_scale = 0.05;
+    WorkloadGenerator gen(cfg, 29);
+    benchmark::DoNotOptimize(gen.generate());
+  }
+}
+BENCHMARK(BM_WorkloadGeneration)->Arg(10)->Arg(50);
+
+void BM_SimplexSolve(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  Rng rng(31);
+  lp::Model m;
+  for (int v = 0; v < n; ++v) m.add_var(0.0, 10.0, rng.uniform(-5.0, 5.0));
+  for (int c = 0; c < n; ++c) {
+    lp::LinearExpr e;
+    for (int v = 0; v < n; ++v) e.add(v, rng.uniform(0.0, 3.0));
+    m.add_constraint(std::move(e), lp::Sense::kLe, rng.uniform(5.0, 20.0));
+  }
+  lp::SimplexSolver solver;
+  for (auto _ : state) benchmark::DoNotOptimize(solver.solve(m));
+}
+BENCHMARK(BM_SimplexSolve)->Arg(10)->Arg(30)->Arg(60);
+
+void BM_PriorityComputeJob(benchmark::State& state) {
+  // Full engine context so waiting/remaining queries are realistic.
+  JobSet jobs;
+  jobs.push_back(make_bench_job(static_cast<std::size_t>(state.range(0)), 37));
+  DspScheduler sched;
+  EngineParams ep;
+  ep.period = kMaxTime / 4;  // never reschedule
+  ep.epoch = kMaxTime / 4;
+  Engine engine(ClusterSpec::ec2(4), std::move(jobs), sched, nullptr, ep);
+  // Schedule manually by invoking the period logic through run? Instead,
+  // compute priorities on the unstarted engine: states are kUnscheduled,
+  // which exercises the same recursion with zero-cost leaves.
+  DspParams params;
+  DependencyPriority priority(params);
+  std::vector<double> out(engine.total_task_count());
+  for (auto _ : state) {
+    priority.compute_job(engine, 0, out);
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(engine.total_task_count()));
+}
+BENCHMARK(BM_PriorityComputeJob)->Arg(100)->Arg(1000);
+
+void BM_EndToEndSimulation(benchmark::State& state) {
+  for (auto _ : state) {
+    WorkloadConfig cfg;
+    cfg.job_count = static_cast<std::size_t>(state.range(0));
+    cfg.task_scale = 0.02;
+    WorkloadGenerator gen(cfg, 41);
+    DspSystem dsp;
+    EngineParams ep;
+    ep.period = 5 * kMinute;
+    ep.epoch = 30 * kSecond;
+    benchmark::DoNotOptimize(dsp.run(ClusterSpec::ec2(10), gen.generate(), ep));
+  }
+}
+BENCHMARK(BM_EndToEndSimulation)->Arg(20)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace dsp
+
+BENCHMARK_MAIN();

@@ -1,0 +1,136 @@
+// Trace replay: run any scheduler/preemption combination over a CSV trace.
+//
+//   $ ./trace_replay <trace.csv> [scheduler] [policy] [cluster] [n]
+//
+//     scheduler: dsp | aalo | tetris | tetris-nodep      (default dsp)
+//     policy:    dsp | dsp-nopp | amoeba | natjam | srpt | none
+//                                                        (default dsp)
+//     cluster:   real | ec2                              (default real)
+//     n:         node count                              (default profile's)
+//
+// Generate a compatible trace with the workload generator:
+//   $ ./trace_replay --emit sample.csv 20 42   # 20 jobs, seed 42
+// then replay it through different policies and compare.
+#include <cstdio>
+#include <cstring>
+#include <memory>
+#include <string>
+
+#include "baselines/aalo.h"
+#include "baselines/preempt_baselines.h"
+#include "baselines/tetris.h"
+#include "core/dsp_system.h"
+#include "metrics/report.h"
+#include "trace/stats.h"
+#include "trace/trace_io.h"
+#include "trace/workload.h"
+
+namespace {
+
+using namespace dsp;
+
+std::unique_ptr<Scheduler> pick_scheduler(const std::string& name) {
+  if (name == "dsp") return std::make_unique<DspScheduler>();
+  if (name == "aalo") return std::make_unique<AaloScheduler>();
+  if (name == "tetris")
+    return std::make_unique<TetrisScheduler>(
+        TetrisScheduler::Dependency::kSimple);
+  if (name == "tetris-nodep")
+    return std::make_unique<TetrisScheduler>(TetrisScheduler::Dependency::kNone);
+  return nullptr;
+}
+
+std::unique_ptr<PreemptionPolicy> pick_policy(const std::string& name) {
+  if (name == "dsp") return std::make_unique<DspPreemption>();
+  if (name == "dsp-nopp") {
+    DspParams params;
+    params.normalized_pp = false;
+    return std::make_unique<DspPreemption>(params);
+  }
+  if (name == "amoeba") return std::make_unique<AmoebaPolicy>();
+  if (name == "natjam") return std::make_unique<NatjamPolicy>();
+  if (name == "srpt") return std::make_unique<SrptPolicy>();
+  return nullptr;  // "none"
+}
+
+int emit_trace(int argc, char** argv) {
+  if (argc < 3) {
+    std::fprintf(stderr, "usage: trace_replay --emit <out.csv> [jobs] [seed]\n");
+    return 2;
+  }
+  WorkloadConfig cfg;
+  cfg.job_count = argc > 3 ? static_cast<std::size_t>(std::atoi(argv[3])) : 20;
+  cfg.task_scale = 0.05;
+  const auto seed =
+      argc > 4 ? static_cast<std::uint64_t>(std::atoll(argv[4])) : 42u;
+  const JobSet jobs = WorkloadGenerator(cfg, seed).generate();
+  if (!write_trace_csv(argv[2], jobs)) {
+    std::fprintf(stderr, "cannot write %s\n", argv[2]);
+    return 1;
+  }
+  std::printf("wrote %zu jobs (%zu tasks) to %s\n", jobs.size(),
+              total_tasks(jobs), argv[2]);
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc >= 2 && std::strcmp(argv[1], "--emit") == 0)
+    return emit_trace(argc, argv);
+  if (argc >= 3 && std::strcmp(argv[1], "--stats") == 0) {
+    const TraceParseResult parsed = read_trace_csv(argv[2], 2660.0);
+    if (!parsed.ok()) {
+      for (const auto& e : parsed.errors)
+        std::fprintf(stderr, "trace error: %s\n", e.c_str());
+      return 1;
+    }
+    std::fputs(analyze_workload(parsed.jobs).render().c_str(), stdout);
+    return 0;
+  }
+  if (argc < 2) {
+    std::fprintf(stderr,
+                 "usage: trace_replay <trace.csv> [scheduler] [policy] "
+                 "[cluster] [n]\n       trace_replay --emit <out.csv> [jobs] "
+                 "[seed]\n       trace_replay --stats <trace.csv>\n");
+    return 2;
+  }
+
+  const std::string sched_name = argc > 2 ? argv[2] : "dsp";
+  const std::string policy_name = argc > 3 ? argv[3] : "dsp";
+  const std::string cluster_name = argc > 4 ? argv[4] : "real";
+  ClusterSpec cluster = cluster_name == "ec2"
+                            ? ClusterSpec::ec2(argc > 5 ? std::atoi(argv[5]) : 30)
+                            : ClusterSpec::real_cluster(
+                                  argc > 5 ? std::atoi(argv[5]) : 50);
+
+  const TraceParseResult parsed = read_trace_csv(argv[1], cluster.mean_rate());
+  if (!parsed.ok()) {
+    for (const auto& e : parsed.errors)
+      std::fprintf(stderr, "trace error: %s\n", e.c_str());
+    return 1;
+  }
+  std::printf("loaded %zu jobs (%zu tasks) from %s\n", parsed.jobs.size(),
+              total_tasks(parsed.jobs), argv[1]);
+
+  auto scheduler = pick_scheduler(sched_name);
+  if (!scheduler) {
+    std::fprintf(stderr, "unknown scheduler '%s'\n", sched_name.c_str());
+    return 2;
+  }
+  auto policy = pick_policy(policy_name);
+  if (!policy && policy_name != "none") {
+    std::fprintf(stderr, "unknown policy '%s'\n", policy_name.c_str());
+    return 2;
+  }
+
+  EngineParams ep;
+  ep.period = 1 * kMinute;
+  ep.epoch = 10 * kSecond;
+  const RunMetrics m =
+      simulate(cluster, parsed.jobs, *scheduler, policy.get(), ep);
+  std::printf("%s + %s on %s(%zu):\n  %s\n", sched_name.c_str(),
+              policy_name.c_str(), cluster_name.c_str(), cluster.size(),
+              summarize(m).c_str());
+  return 0;
+}

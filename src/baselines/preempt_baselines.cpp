@@ -1,0 +1,159 @@
+#include "baselines/preempt_baselines.h"
+
+#include <algorithm>
+
+namespace dsp {
+
+void QueueScanPreemption::on_epoch(Engine& engine) {
+  std::vector<Gid> victims;
+  for (int node = 0; node < static_cast<int>(engine.node_count()); ++node) {
+    const std::vector<Gid>& waiting_ref = engine.waiting(node);
+    if (waiting_ref.empty()) continue;
+
+    victims.clear();
+    for (Gid r : engine.running(node))
+      if (eligible_victim(engine, r)) victims.push_back(r);
+    if (victims.empty()) continue;
+    std::sort(victims.begin(), victims.end(), [&](Gid a, Gid b) {
+      return victim_order(engine, a, b);
+    });
+
+    // Snapshot: preemption mutates the queue. Every running task is evicted
+    // at most once per epoch (victims are consumed), which bounds the
+    // per-node work. Failed preempt-in attempts (e.g. unready tasks under
+    // these dependency-blind policies) also cost real scheduler time, so
+    // they share a per-node budget.
+    int attempt_budget = 8 * static_cast<int>(victims.size());
+    const std::vector<Gid> waiting = waiting_ref;
+    for (Gid w : waiting) {
+      if (victims.empty() || attempt_budget <= 0) break;
+      const TaskState s = engine.state(w);
+      if (s != TaskState::kWaiting && s != TaskState::kSuspended) continue;
+      if (engine.launch_blocked(w)) continue;  // failed input check earlier
+      if (!eligible_preemptor(engine, w)) continue;
+
+      for (auto it = victims.begin(); it != victims.end();) {
+        const Gid v = *it;
+        if (engine.state(v) != TaskState::kRunning) {
+          it = victims.erase(it);
+          continue;
+        }
+        if (!should_preempt(engine, w, v)) {
+          // Victims are sorted best-first; if the best remaining victim is
+          // not preemptable by w, none is.
+          it = victims.end();
+          break;
+        }
+        // NOTE: no dependency/readiness check — these baselines neglect
+        // dependency; the engine records a disorder when w is not ready.
+        --attempt_budget;
+        const PreemptResult res = engine.try_preempt(node, v, w);
+        if (res == PreemptResult::kOk) {
+          victims.erase(it);
+          break;
+        }
+        if (res == PreemptResult::kNoResources) {
+          ++it;  // a bigger victim may free enough
+          continue;
+        }
+        // kIncomingNotReady (disorder counted) or invalid: drop this
+        // waiting task.
+        break;
+      }
+    }
+  }
+}
+
+// ---------------------------------------------------------------------
+// Amoeba
+// ---------------------------------------------------------------------
+
+bool AmoebaPolicy::victim_order(const Engine& engine, Gid a, Gid b) const {
+  // Most resources ~ longest remaining time first (lowest priority).
+  const SimTime ra = engine.remaining_time(a);
+  const SimTime rb = engine.remaining_time(b);
+  return ra != rb ? ra > rb : a < b;
+}
+
+bool AmoebaPolicy::should_preempt(const Engine& engine, Gid waiting,
+                                  Gid victim) const {
+  // A waiting task displaces a running task that needs strictly more
+  // resources (longer remaining time) than itself.
+  return engine.remaining_time(waiting) < engine.remaining_time(victim);
+}
+
+// ---------------------------------------------------------------------
+// Natjam
+// ---------------------------------------------------------------------
+
+namespace {
+
+/// Scalar "resource usage" for Natjam's most-resources-first rule.
+double resource_magnitude(const Engine& engine, Gid g) {
+  const Resources& d = engine.task_info(g).demand;
+  return d.cpu + d.mem;  // disk/bw are constant per §V, so they don't rank
+}
+
+}  // namespace
+
+bool NatjamPolicy::victim_order(const Engine& engine, Gid a, Gid b) const {
+  // Most resources first, then maximum deadline, then shortest remaining.
+  const double ra = resource_magnitude(engine, a);
+  const double rb = resource_magnitude(engine, b);
+  if (ra != rb) return ra > rb;
+  const SimTime da = engine.job(engine.job_of(a)).deadline();
+  const SimTime db = engine.job(engine.job_of(b)).deadline();
+  if (da != db) return da > db;
+  const SimTime rta = engine.remaining_time(a);
+  const SimTime rtb = engine.remaining_time(b);
+  if (rta != rtb) return rta < rtb;
+  return a < b;
+}
+
+bool NatjamPolicy::should_preempt(const Engine& engine, Gid waiting,
+                                  Gid victim) const {
+  (void)engine;
+  (void)waiting;
+  (void)victim;
+  // Tier eligibility (production preempts research) is enforced by the
+  // eligible_* hooks; any eligible pair proceeds.
+  return true;
+}
+
+bool NatjamPolicy::eligible_preemptor(const Engine& engine, Gid waiting) const {
+  return engine.job(engine.job_of(waiting)).tier() == JobTier::kProduction;
+}
+
+bool NatjamPolicy::eligible_victim(const Engine& engine, Gid running) const {
+  return engine.job(engine.job_of(running)).tier() == JobTier::kResearch;
+}
+
+// ---------------------------------------------------------------------
+// SRPT
+// ---------------------------------------------------------------------
+
+double SrptPolicy::priority(const Engine& engine, Gid g) const {
+  const double t_w = engine.accumulated_wait_s(g);
+  const double t_rem = std::max(0.001, to_seconds(engine.remaining_time(g)));
+  return alpha_ * t_w + beta_ / t_rem;
+}
+
+bool SrptPolicy::victim_order(const Engine& engine, Gid a, Gid b) const {
+  // Lowest priority (longest remaining) evicted first.
+  const double pa = priority(engine, a);
+  const double pb = priority(engine, b);
+  return pa != pb ? pa < pb : a < b;
+}
+
+bool SrptPolicy::should_preempt(const Engine& engine, Gid waiting,
+                                Gid victim) const {
+  // Core SRPT semantics: only a strictly shorter-remaining task evicts.
+  // Without this guard, SRPT's restart-from-scratch checkpointless mode
+  // livelocks: waiting time alone eventually outranks any running task,
+  // every epoch swaps, and all progress resets (see DESIGN.md deviations).
+  // The linear-combination priority still orders victims and preemptors.
+  return engine.remaining_time(waiting) < engine.remaining_time(victim) &&
+         priority(engine, waiting) > priority(engine, victim);
+}
+
+}  // namespace dsp

@@ -1,0 +1,116 @@
+// Preemption baselines (paper §V): Amoeba, Natjam and SRPT.
+//
+// All three run on top of DSP's initial schedule ("we use our initial
+// schedule for all preemption methods") and, unlike DSP, are blind to task
+// dependency when choosing which waiting task to bring in — so they can
+// select tasks whose precedents have not finished, which the engine counts
+// as *disorders* (Fig. 6(a)/7(a)).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/engine.h"
+#include "sim/policy.h"
+
+namespace dsp {
+
+/// Shared scaffolding: per-epoch, per-node scan where every waiting task
+/// (the whole queue — these baselines have no delta window) may preempt a
+/// running victim chosen by the subclass.
+class QueueScanPreemption : public PreemptionPolicy {
+ public:
+  void on_epoch(Engine& engine) override;
+
+ protected:
+  /// Ascending victim order: the first victim in this order is tried first.
+  /// Return value: strict-weak-order "a is a better victim than b".
+  virtual bool victim_order(const Engine& engine, Gid a, Gid b) const = 0;
+
+  /// Whether `waiting` may preempt `victim` (priority comparison only; the
+  /// engine enforces mechanics, and dependency is deliberately NOT checked
+  /// — these baselines neglect it).
+  virtual bool should_preempt(const Engine& engine, Gid waiting,
+                              Gid victim) const = 0;
+
+  /// Whether this waiting task participates at all (Natjam restricts the
+  /// preemptors to production-job tasks).
+  virtual bool eligible_preemptor(const Engine& engine, Gid waiting) const {
+    (void)engine;
+    (void)waiting;
+    return true;
+  }
+
+  /// Whether this running task may be evicted (Natjam only evicts
+  /// research-job tasks).
+  virtual bool eligible_victim(const Engine& engine, Gid running) const {
+    (void)engine;
+    (void)running;
+    return true;
+  }
+};
+
+/// Amoeba (Ananthanarayanan et al., SoCC 2012): the task consuming the most
+/// resources — i.e. with the longest remaining time — has the lowest
+/// priority; preempted tasks resume from checkpoints.
+class AmoebaPolicy : public QueueScanPreemption {
+ public:
+  const char* name() const override { return "Amoeba"; }
+  CheckpointMode checkpoint_mode() const override {
+    return CheckpointMode::kCheckpoint;
+  }
+
+ protected:
+  bool victim_order(const Engine& engine, Gid a, Gid b) const override;
+  bool should_preempt(const Engine& engine, Gid waiting,
+                      Gid victim) const override;
+};
+
+/// Natjam (Cho et al., SoCC 2013): production jobs preempt research jobs;
+/// eviction picks the research task using the most resources first, the
+/// maximum deadline second, the shortest remaining time third. Uses
+/// on-demand checkpointing.
+class NatjamPolicy : public QueueScanPreemption {
+ public:
+  const char* name() const override { return "Natjam"; }
+  CheckpointMode checkpoint_mode() const override {
+    return CheckpointMode::kCheckpoint;
+  }
+
+ protected:
+  bool victim_order(const Engine& engine, Gid a, Gid b) const override;
+  bool should_preempt(const Engine& engine, Gid waiting,
+                      Gid victim) const override;
+  bool eligible_preemptor(const Engine& engine, Gid waiting) const override;
+  bool eligible_victim(const Engine& engine, Gid running) const override;
+};
+
+/// SRPT (Balasubramanian et al., JSSPP 2013): priority is the linear
+/// combination alpha * waiting time + beta * (1 / remaining time)
+/// (Table II: alpha = 0.5, beta = 1). No checkpointing — preempted tasks
+/// restart from scratch, which is why SRPT shows the most preemptions in
+/// Fig. 6(d).
+class SrptPolicy : public QueueScanPreemption {
+ public:
+  SrptPolicy() = default;
+  SrptPolicy(double alpha, double beta) : alpha_(alpha), beta_(beta) {}
+
+  const char* name() const override { return "SRPT"; }
+  CheckpointMode checkpoint_mode() const override {
+    return CheckpointMode::kRestart;
+  }
+
+  /// The SRPT priority of a task given current engine state.
+  double priority(const Engine& engine, Gid g) const;
+
+ protected:
+  bool victim_order(const Engine& engine, Gid a, Gid b) const override;
+  bool should_preempt(const Engine& engine, Gid waiting,
+                      Gid victim) const override;
+
+ private:
+  double alpha_ = 0.5;  ///< Weight of waiting time (Table II).
+  double beta_ = 1.0;   ///< Weight of remaining time (Table II).
+};
+
+}  // namespace dsp

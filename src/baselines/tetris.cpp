@@ -1,0 +1,87 @@
+#include "baselines/tetris.h"
+
+#include <algorithm>
+
+#include "util/log.h"
+
+namespace dsp {
+
+double TetrisScheduler::alignment(const Resources& available,
+                                  const Resources& demand,
+                                  const Resources& capacity) {
+  // Normalize each dimension by capacity so the score is scale-free; a
+  // zero-capacity dimension contributes nothing.
+  auto norm = [](double a, double c) { return c > 0.0 ? a / c : 0.0; };
+  return norm(available.cpu, capacity.cpu) * norm(demand.cpu, capacity.cpu) +
+         norm(available.mem, capacity.mem) * norm(demand.mem, capacity.mem) +
+         norm(available.disk, capacity.disk) * norm(demand.disk, capacity.disk) +
+         norm(available.bw, capacity.bw) * norm(demand.bw, capacity.bw);
+}
+
+std::vector<TaskPlacement> TetrisScheduler::schedule(
+    const std::vector<JobId>& jobs, Engine& engine) {
+  std::vector<TaskPlacement> placements;
+  const std::size_t n_nodes = engine.node_count();
+
+  // Local backlog estimate (MI) seeded from live state.
+  std::vector<double> backlog(n_nodes);
+  for (std::size_t k = 0; k < n_nodes; ++k)
+    backlog[k] = engine.node_backlog_mi(static_cast<int>(k));
+
+  SimTime seq = 0;
+  for (JobId j : jobs) {
+    const Job& job = engine.job(j);
+    // W/SimDep queues precedents ahead of dependents (topological order);
+    // W/oDep keeps raw submission order.
+    std::vector<TaskIndex> order;
+    if (dep_ == Dependency::kSimple) {
+      const auto topo = job.graph().topo_order();
+      order.assign(topo.begin(), topo.end());
+    } else {
+      order.resize(job.task_count());
+      for (TaskIndex t = 0; t < job.task_count(); ++t) order[t] = t;
+    }
+    for (TaskIndex t : order) {
+      const Task& task = job.task(t);
+      int best = -1;
+      for (std::size_t k = 0; k < n_nodes; ++k) {
+        if (!engine.cluster().node(k).capacity.fits(task.demand)) continue;
+        if (best < 0 || backlog[k] < backlog[static_cast<std::size_t>(best)])
+          best = static_cast<int>(k);
+      }
+      if (best < 0) {
+        DSP_ERROR("tetris: task %u fits no node", engine.gid(j, t));
+        continue;
+      }
+      backlog[static_cast<std::size_t>(best)] += task.size_mi;
+      placements.push_back(
+          TaskPlacement{engine.gid(j, t), best, engine.now() + seq});
+      ++seq;  // 1 us steps preserve order without colliding keys
+    }
+  }
+  return placements;
+}
+
+Gid TetrisScheduler::select_next(int node, Engine& engine,
+                                 const std::vector<std::uint8_t>& excluded) {
+  const Resources& avail = engine.available(node);
+  const Resources& cap =
+      engine.cluster().node(static_cast<std::size_t>(node)).capacity;
+  Gid best = kInvalidGid;
+  double best_score = -1.0;
+  for (Gid g : engine.waiting(node)) {
+    if (excluded[g]) continue;
+    if (engine.launch_blocked(g)) continue;  // failed input check earlier
+    const Resources& demand = engine.task_info(g).demand;
+    if (!avail.fits(demand)) continue;
+    if (dep_ == Dependency::kSimple && !engine.is_ready(g)) continue;
+    const double score = alignment(avail, demand, cap);
+    if (score > best_score) {
+      best_score = score;
+      best = g;
+    }
+  }
+  return best;
+}
+
+}  // namespace dsp

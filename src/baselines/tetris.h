@@ -1,0 +1,62 @@
+// Tetris baseline (Grandl et al., SIGCOMM 2014): multi-resource packing.
+//
+// When a machine frees resources, Tetris launches the waiting task with the
+// highest *alignment score* — the dot product between the machine's
+// available resource vector and the task's peak demand — packing
+// complementary tasks together to maximize utilization.
+//
+// Two variants, matching the paper's §V comparison:
+//  - TetrisW/oDep ("without any dependency consideration"): packs purely by
+//    score; it may select tasks whose precedents have not finished, which
+//    the engine rejects and counts as disorders.
+//  - TetrisW/SimDep ("simple dependency-aware"): precedent tasks complete
+//    before dependent tasks start — i.e. the packer only considers
+//    currently-runnable tasks.
+#pragma once
+
+#include "sim/engine.h"
+#include "sim/policy.h"
+
+namespace dsp {
+
+/// Tetris packing scheduler.
+class TetrisScheduler : public Scheduler {
+ public:
+  enum class Dependency {
+    kNone,    ///< TetrisW/oDep
+    kSimple,  ///< TetrisW/SimDep
+  };
+
+  explicit TetrisScheduler(Dependency dep) : dep_(dep) {}
+
+  const char* name() const override {
+    return dep_ == Dependency::kNone ? "TetrisW/oDep" : "TetrisW/SimDep";
+  }
+
+  /// Placement: spread tasks over the least-loaded feasible nodes (Tetris'
+  /// packing intelligence acts at dispatch time, not placement time).
+  /// Queue order preserves submission order; the W/SimDep variant orders
+  /// each job's tasks topologically so precedents queue first.
+  std::vector<TaskPlacement> schedule(const std::vector<JobId>& jobs,
+                                      Engine& engine) override;
+
+  /// Dispatch: highest alignment score among fitting waiting tasks
+  /// (restricted to runnable tasks for W/SimDep).
+  Gid select_next(int node, Engine& engine,
+                  const std::vector<std::uint8_t>& excluded) override;
+
+  /// The blind variant launches tasks whose inputs are missing; they hold
+  /// their slot until the inputs appear (classic slot hoarding).
+  bool hoards_slots() const override { return dep_ == Dependency::kNone; }
+
+  /// Alignment score of demand against an available-resource vector,
+  /// normalized per dimension by the node capacity so no single resource
+  /// dominates (Tetris §4.1's weighted dot product).
+  static double alignment(const Resources& available, const Resources& demand,
+                          const Resources& capacity);
+
+ private:
+  Dependency dep_;
+};
+
+}  // namespace dsp

@@ -1,0 +1,263 @@
+#include "core/dsp_scheduler.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <queue>
+#include <tuple>
+
+#include "util/log.h"
+
+namespace dsp {
+
+const char* to_string(ScheduleMode m) {
+  switch (m) {
+    case ScheduleMode::kHeuristic: return "heuristic";
+    case ScheduleMode::kRelaxRound: return "relax-round";
+    case ScheduleMode::kExact: return "exact";
+    case ScheduleMode::kAuto: return "auto";
+  }
+  return "?";
+}
+
+std::vector<double> DspScheduler::dependency_weights(const Job& job,
+                                                     double gamma) {
+  const TaskGraph& graph = job.graph();
+  std::vector<double> weight(job.task_count(), 1.0);
+  const auto topo = graph.topo_order();
+  for (auto it = topo.rbegin(); it != topo.rend(); ++it) {
+    const TaskIndex t = *it;
+    double w = 1.0;
+    for (TaskIndex c : graph.children(t)) w += (gamma + 1.0) * weight[c];
+    weight[t] = w;
+  }
+  return weight;
+}
+
+std::vector<TaskPlacement> DspScheduler::schedule(
+    const std::vector<JobId>& jobs, Engine& engine) {
+  ScheduleMode mode = options_.mode;
+  if (mode == ScheduleMode::kAuto || mode == ScheduleMode::kExact ||
+      mode == ScheduleMode::kRelaxRound) {
+    // Size the would-be ILP instance.
+    std::size_t tasks = 0;
+    for (JobId j : jobs) tasks += engine.job(j).task_count();
+    std::size_t machines = 0;
+    for (std::size_t k = 0; k < engine.node_count(); ++k)
+      machines += static_cast<std::size_t>(engine.cluster().node(k).slots);
+    const bool exact_ok =
+        tasks <= options_.exact_max_tasks && machines <= options_.exact_max_machines;
+    if (mode == ScheduleMode::kAuto)
+      mode = exact_ok ? ScheduleMode::kExact : ScheduleMode::kHeuristic;
+    else if (mode == ScheduleMode::kExact && !exact_ok) {
+      DSP_INFO("ILP instance too large for exact mode (%zu tasks, %zu machines);"
+               " using heuristic", tasks, machines);
+      mode = ScheduleMode::kHeuristic;
+    }
+  }
+  last_mode_ = mode;
+  switch (mode) {
+    case ScheduleMode::kExact:
+      return schedule_ilp(jobs, engine, /*exact=*/true);
+    case ScheduleMode::kRelaxRound:
+      return schedule_ilp(jobs, engine, /*exact=*/false);
+    default:
+      return schedule_heuristic(jobs, engine);
+  }
+}
+
+std::vector<TaskPlacement> DspScheduler::schedule_heuristic(
+    const std::vector<JobId>& jobs, Engine& engine) const {
+  const std::size_t n_nodes = engine.node_count();
+  const SimTime now = engine.now();
+
+  // Per-node virtual slot availability, seeded with the node's current
+  // backlog spread across its slots (an estimate of when already-assigned
+  // work drains).
+  std::vector<std::vector<double>> slot_free(n_nodes);
+  for (std::size_t k = 0; k < n_nodes; ++k) {
+    const int slots = engine.cluster().node(k).slots;
+    const double backlog_s = engine.node_backlog_mi(static_cast<int>(k)) /
+                             engine.node_rate(static_cast<int>(k)) /
+                             std::max(1, slots);
+    slot_free[k].assign(static_cast<std::size_t>(slots),
+                        to_seconds(now) + backlog_s);
+  }
+
+  // Rank = (downstream weight desc, deadline asc, gid asc). Tasks become
+  // eligible once all parents are placed; their start estimate then
+  // respects the parents' estimated finishes (dependency awareness both in
+  // ordering and in timing).
+  struct Item {
+    double weight;
+    SimTime deadline;
+    Gid gid;
+  };
+  struct ItemLess {
+    bool operator()(const Item& a, const Item& b) const {
+      if (a.weight != b.weight) return a.weight < b.weight;  // max-heap: larger first
+      if (a.deadline != b.deadline) return a.deadline > b.deadline;
+      return a.gid > b.gid;
+    }
+  };
+  std::priority_queue<Item, std::vector<Item>, ItemLess> ready;
+
+  // Per-task bookkeeping (local maps keyed by gid ranges of pending jobs).
+  std::vector<TaskPlacement> placements;
+  std::size_t total_tasks = 0;
+  for (JobId j : jobs) total_tasks += engine.job(j).task_count();
+  placements.reserve(total_tasks);
+
+  struct TaskAux {
+    double finish_est = 0.0;
+    std::uint32_t unplaced_parents = 0;
+    double weight = 0.0;
+  };
+  // Map job -> base offset into a flat aux array (gids of one job are
+  // contiguous, so job base + task index addresses aux densely).
+  std::vector<TaskAux> aux(total_tasks);
+  std::vector<std::pair<JobId, std::size_t>> job_base;
+  {
+    std::size_t base = 0;
+    for (JobId j : jobs) {
+      job_base.emplace_back(j, base);
+      base += engine.job(j).task_count();
+    }
+  }
+  auto base_of = [&](JobId j) {
+    for (const auto& [job, base] : job_base)
+      if (job == j) return base;
+    assert(false && "job not in pending set");
+    return std::size_t{0};
+  };
+
+  for (JobId j : jobs) {
+    const Job& job = engine.job(j);
+    const auto weights = dependency_weights(job, options_.gamma);
+    const std::size_t base = base_of(j);
+    for (TaskIndex t = 0; t < job.task_count(); ++t) {
+      aux[base + t].unplaced_parents =
+          static_cast<std::uint32_t>(job.graph().parents(t).size());
+      aux[base + t].weight = weights[t];
+      if (aux[base + t].unplaced_parents == 0)
+        ready.push({weights[t], job.task(t).deadline, engine.gid(j, t)});
+    }
+  }
+
+  while (!ready.empty()) {
+    const Item item = ready.top();
+    ready.pop();
+    const JobId j = engine.job_of(item.gid);
+    const TaskIndex t = engine.index_of(item.gid);
+    const Job& job = engine.job(j);
+    const std::size_t base = base_of(j);
+    const Task& task = job.task(t);
+
+    // Earliest start from dependency estimates.
+    double dep_ready_s = to_seconds(now);
+    for (TaskIndex p : job.graph().parents(t))
+      dep_ready_s = std::max(dep_ready_s, aux[base + p].finish_est);
+
+    // Pick the node minimizing estimated finish time.
+    int best_node = -1;
+    std::size_t best_slot = 0;
+    double best_eft = 0.0, best_est = 0.0;
+    for (std::size_t k = 0; k < n_nodes; ++k) {
+      if (!engine.cluster().node(k).capacity.fits(task.demand)) continue;
+      const auto min_it =
+          std::min_element(slot_free[k].begin(), slot_free[k].end());
+      const double est = std::max(dep_ready_s, *min_it);
+      double eft = est + task.size_mi / engine.node_rate(static_cast<int>(k));
+      if (options_.locality_aware)
+        eft += to_seconds(engine.transfer_time(item.gid, static_cast<int>(k)));
+      if (best_node < 0 || eft < best_eft) {
+        best_node = static_cast<int>(k);
+        best_slot = static_cast<std::size_t>(min_it - slot_free[k].begin());
+        best_eft = eft;
+        best_est = est;
+      }
+    }
+    if (best_node < 0) {
+      DSP_ERROR("task %u fits no node; skipping placement", item.gid);
+      continue;
+    }
+    slot_free[static_cast<std::size_t>(best_node)][best_slot] = best_eft;
+    aux[base + t].finish_est = best_eft;
+    placements.push_back(TaskPlacement{item.gid, best_node, from_seconds(best_est)});
+
+    for (TaskIndex c : job.graph().children(t)) {
+      TaskAux& ca = aux[base + c];
+      assert(ca.unplaced_parents > 0);
+      if (--ca.unplaced_parents == 0)
+        ready.push({ca.weight, job.task(c).deadline, engine.gid(j, c)});
+    }
+  }
+  return placements;
+}
+
+std::vector<TaskPlacement> DspScheduler::schedule_ilp(
+    const std::vector<JobId>& jobs, Engine& engine, bool exact) {
+  const SimTime now = engine.now();
+
+  // Build the IlpProblem: tasks flattened across jobs, machines = slot
+  // expansion of nodes.
+  IlpProblem problem;
+  problem.recovery_s = options_.recovery_s;
+  std::vector<Gid> task_of_index;
+  std::vector<std::size_t> index_of_gid_base;  // per pending job
+  {
+    std::size_t idx = 0;
+    for (JobId j : jobs) {
+      index_of_gid_base.push_back(idx);
+      const Job& job = engine.job(j);
+      for (TaskIndex t = 0; t < job.task_count(); ++t) {
+        IlpTask it;
+        it.size_mi = job.task(t).size_mi;
+        const SimTime dl = job.task(t).deadline;
+        it.deadline_s = dl == kMaxTime
+                            ? std::numeric_limits<double>::infinity()
+                            : std::max(0.0, to_seconds(dl - now));
+        for (TaskIndex p : job.graph().parents(t))
+          it.parents.push_back(
+              static_cast<int>(index_of_gid_base.back() + p));
+        if (options_.preemption_padding) {
+          const double exec_ref =
+              job.task(t).size_mi / engine.cluster().mean_rate();
+          it.n_preempt = estimate_preemptions(exec_ref, it.deadline_s);
+        }
+        problem.tasks.push_back(std::move(it));
+        task_of_index.push_back(engine.gid(j, t));
+        ++idx;
+      }
+    }
+  }
+  std::vector<int> machine_node;
+  for (std::size_t k = 0; k < engine.node_count(); ++k) {
+    for (int s = 0; s < engine.cluster().node(k).slots; ++s) {
+      problem.machine_rates.push_back(engine.node_rate(static_cast<int>(k)));
+      machine_node.push_back(static_cast<int>(k));
+    }
+  }
+
+  IlpScheduleResult result =
+      exact ? solve_ilp_schedule(problem) : solve_relax_round(problem);
+  if (!result.ok()) {
+    DSP_WARN("ILP solve failed (%s); falling back to heuristic",
+             lp::to_string(result.status));
+    last_mode_ = ScheduleMode::kHeuristic;
+    return schedule_heuristic(jobs, engine);
+  }
+
+  std::vector<TaskPlacement> placements;
+  placements.reserve(problem.tasks.size());
+  for (std::size_t i = 0; i < problem.tasks.size(); ++i) {
+    TaskPlacement p;
+    p.task = task_of_index[i];
+    p.node = machine_node[static_cast<std::size_t>(result.machine_of[i])];
+    p.planned_start = now + from_seconds(result.start_s[i]);
+    placements.push_back(p);
+  }
+  return placements;
+}
+
+}  // namespace dsp

@@ -1,0 +1,12 @@
+#include "core/dsp_system.h"
+
+namespace dsp {
+
+RunMetrics simulate(const ClusterSpec& cluster, JobSet jobs,
+                    Scheduler& scheduler, PreemptionPolicy* preempt,
+                    EngineParams engine_params) {
+  Engine engine(cluster, std::move(jobs), scheduler, preempt, engine_params);
+  return engine.run();
+}
+
+}  // namespace dsp

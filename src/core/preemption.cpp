@@ -1,0 +1,204 @@
+#include "core/preemption.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/log.h"
+
+namespace dsp {
+
+void DspPreemption::on_epoch(Engine& engine) {
+  if (params_.straggler_mitigation) mitigate_stragglers(engine);
+
+  const auto range = priority_.compute_all(engine, prio_);
+  if (range.live_tasks == 0) return;
+  const double pbar = range.mean_neighbor_gap();
+
+  std::uint64_t considered = 0, preempted = 0;
+  std::vector<Gid> preemptable;
+  for (int node = 0; node < static_cast<int>(engine.node_count()); ++node) {
+    if (engine.waiting(node).empty()) continue;
+
+    // Preemptable running tasks: suspending them for up to an epoch still
+    // leaves enough allowable waiting time to meet their deadline.
+    preemptable.clear();
+    for (Gid r : engine.running(node))
+      if (engine.allowable_waiting_time(r) > engine.params().epoch)
+        preemptable.push_back(r);
+    if (preemptable.empty()) continue;
+    std::sort(preemptable.begin(), preemptable.end(), [this](Gid a, Gid b) {
+      return prio_[a] != prio_[b] ? prio_[a] < prio_[b] : a < b;
+    });
+
+    urgent_pass(engine, node, preemptable);
+    const auto [c, p] = window_pass(engine, node, preemptable, pbar);
+    considered += c;
+    preempted += p;
+  }
+  if (params_.adaptive_delta) adapt_delta(considered, preempted);
+}
+
+void DspPreemption::urgent_pass(Engine& engine, int node,
+                                std::vector<Gid>& preemptable) const {
+  // Snapshot: try_preempt mutates the waiting queue.
+  const std::vector<Gid> waiting = engine.waiting(node);
+  for (Gid w : waiting) {
+    const TaskState s = engine.state(w);
+    if (s != TaskState::kWaiting && s != TaskState::kSuspended) continue;
+    if (!engine.is_ready(w)) continue;  // DSP never launches unready tasks
+    // Urgent: the deadline is close (t^a <= epsilon) but still salvageable
+    // (t^a >= 0) — preempting for a task that can no longer meet its
+    // deadline buys nothing — or the task has waited beyond tau.
+    const SimTime t_a = engine.allowable_waiting_time(w);
+    const bool urgent = (t_a <= params_.epsilon && t_a >= 0) ||
+                        engine.waiting_time(w) >= params_.tau;
+    if (!urgent) continue;
+    // Lowest-priority victim the urgent task does not depend on (C2),
+    // ignoring C1 and the PP gap.
+    for (auto it = preemptable.begin(); it != preemptable.end(); ++it) {
+      const Gid v = *it;
+      if (engine.state(v) != TaskState::kRunning) continue;
+      if (engine.depends_on(w, v)) continue;
+      const PreemptResult res = engine.try_preempt(node, v, w);
+      if (res == PreemptResult::kOk) {
+        preemptable.erase(it);
+        break;
+      }
+      if (res == PreemptResult::kIncomingNotReady) break;  // defensive
+      // kNoResources: try the next victim.
+    }
+  }
+}
+
+std::pair<std::uint64_t, std::uint64_t> DspPreemption::window_pass(
+    Engine& engine, int node, std::vector<Gid>& preemptable,
+    double pbar) const {
+  const std::vector<Gid> waiting = engine.waiting(node);  // snapshot
+  const auto window = static_cast<std::size_t>(
+      std::ceil(delta_ * static_cast<double>(waiting.size())));
+  std::uint64_t considered = 0, preempted = 0;
+
+  for (std::size_t i = 0; i < waiting.size() && i < window; ++i) {
+    const Gid w = waiting[i];
+    const TaskState s = engine.state(w);
+    if (s != TaskState::kWaiting && s != TaskState::kSuspended) continue;
+    if (!engine.is_ready(w)) continue;
+    ++considered;
+
+    // Victims in ascending priority: the first one passing all conditions
+    // is the cheapest to displace.
+    for (auto it = preemptable.begin(); it != preemptable.end();) {
+      const Gid v = *it;
+      if (engine.state(v) != TaskState::kRunning) {
+        it = preemptable.erase(it);  // finished/preempted since sorting
+        continue;
+      }
+      // C1: higher priority required. Victims are sorted ascending, so no
+      // later victim can satisfy C1 either.
+      if (prio_[w] <= prio_[v]) break;
+      // C2: never preempt a task the waiting task depends on.
+      if (engine.depends_on(w, v)) {
+        ++it;
+        continue;
+      }
+      // PP: the priority gap must exceed rho times the global mean
+      // neighbor gap, or the context-switch cost outweighs the gain.
+      if (params_.normalized_pp && pbar > 0.0) {
+        const double gap = prio_[w] - prio_[v];
+        if (gap / pbar <= params_.rho) {
+          engine.note_suppressed_preemption();
+          break;  // later victims have higher priority -> smaller gaps
+        }
+      }
+      const PreemptResult res = engine.try_preempt(node, v, w);
+      if (res == PreemptResult::kOk) {
+        ++preempted;
+        preemptable.erase(it);
+        break;
+      }
+      if (res == PreemptResult::kNoResources) {
+        ++it;  // try a higher-priority victim with a larger reservation
+        continue;
+      }
+      break;  // not-ready/invalid: stop trying for this waiting task
+    }
+  }
+  return {considered, preempted};
+}
+
+void DspPreemption::mitigate_stragglers(Engine& engine) const {
+  // Healthy destination: the fastest up node at nominal speed with the
+  // smallest backlog. Recomputed per migration batch (cheap: node counts
+  // are small).
+  auto pick_destination = [&engine](Gid g) {
+    int best = -1;
+    double best_backlog = 0.0;
+    for (int k = 0; k < static_cast<int>(engine.node_count()); ++k) {
+      if (!engine.node_up(k) || engine.node_speed_factor(k) < 1.0) continue;
+      if (!engine.cluster()
+               .node(static_cast<std::size_t>(k))
+               .capacity.fits(engine.task_info(g).demand))
+        continue;
+      if (best < 0 || engine.node_backlog_mi(k) < best_backlog) {
+        best = k;
+        best_backlog = engine.node_backlog_mi(k);
+      }
+    }
+    return best;
+  };
+
+  // Expected completion of `g` if (re)started on `node` behind its
+  // current backlog.
+  auto estimate_s = [&engine](Gid g, int node) {
+    const double rate = engine.node_rate(node);
+    const int slots =
+        engine.cluster().node(static_cast<std::size_t>(node)).slots;
+    const double queue_s =
+        engine.node_backlog_mi(node) / (rate * std::max(1, slots));
+    return queue_s + engine.remaining_mi(g) / rate;
+  };
+
+  for (int node = 0; node < static_cast<int>(engine.node_count()); ++node) {
+    if (!engine.node_up(node)) continue;
+    if (engine.node_speed_factor(node) >= params_.straggler_threshold) continue;
+    // Vacate only when it pays: a migrated task must be expected to finish
+    // meaningfully sooner on the destination than if left crawling here —
+    // under cluster-wide saturation every node is equally backlogged and
+    // migration would just add checkpoint/requeue overhead.
+    const std::vector<Gid> running = engine.running(node);
+    for (Gid g : running) {
+      if (engine.state(g) != TaskState::kRunning) continue;
+      const int dst = pick_destination(g);
+      if (dst < 0) continue;
+      const double stay_s =
+          engine.remaining_mi(g) / engine.node_rate(node);
+      if (estimate_s(g, dst) < 0.7 * stay_s) {
+        engine.evict_running(g);
+        engine.migrate_task(g, dst);
+      }
+    }
+    const std::vector<Gid> waiting = engine.waiting(node);
+    for (Gid g : waiting) {
+      const TaskState s = engine.state(g);
+      if (s != TaskState::kWaiting && s != TaskState::kSuspended) continue;
+      const int dst = pick_destination(g);
+      if (dst < 0) continue;
+      if (estimate_s(g, dst) < 0.7 * estimate_s(g, node))
+        engine.migrate_task(g, dst);
+    }
+  }
+}
+
+void DspPreemption::adapt_delta(std::uint64_t considered,
+                                std::uint64_t preempted) {
+  if (considered == 0) return;
+  const double fraction =
+      static_cast<double>(preempted) / static_cast<double>(considered);
+  if (fraction > params_.delta_grow_above) {
+    delta_ = std::min(params_.delta_max, delta_ * 1.2);
+  } else if (fraction < params_.delta_shrink_below) {
+    delta_ = std::max(params_.delta_min, delta_ * 0.85);
+  }
+}
+
+}  // namespace dsp

@@ -1,0 +1,72 @@
+// DSP's online dependency-aware preemption (paper §IV, Algorithm 1).
+//
+// Each epoch, per node:
+//   1. *Urgent* waiting tasks — allowable waiting time t^a <= epsilon, or
+//      waiting time t^w >= tau — preempt the lowest-priority preemptable
+//      running task they do not depend on, regardless of condition C1.
+//   2. The first ceil(delta * |queue|) waiting tasks (the *preempting
+//      tasks*) each scan the preemptable running tasks in ascending
+//      priority and preempt the first victim satisfying
+//        C1: waiting priority > running priority,
+//        C2: the waiting task does not depend on the victim,
+//      and — when normalized-priority preemption (PP) is enabled — the
+//      gap check  P-hat / P-bar > rho, where P-bar is the mean
+//      neighbor gap of the global sorted priority sequence. PP suppresses
+//      churn preemptions whose context-switch cost outweighs the gain.
+//
+// Preemptable running tasks are those whose allowable waiting time exceeds
+// the epoch, so being suspended cannot make them miss their deadline.
+// delta adapts each epoch to the fraction of considered tasks that
+// actually preempted (§IV-B).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/params.h"
+#include "core/priority.h"
+#include "sim/engine.h"
+#include "sim/policy.h"
+
+namespace dsp {
+
+/// DSP's preemption policy (set params.normalized_pp = false for the
+/// paper's DSPW/oPP ablation variant).
+class DspPreemption : public PreemptionPolicy {
+ public:
+  explicit DspPreemption(DspParams params = {})
+      : params_(params), priority_(params_), delta_(params_.delta) {}
+
+  const char* name() const override {
+    return params_.normalized_pp ? "DSP" : "DSPW/oPP";
+  }
+
+  CheckpointMode checkpoint_mode() const override {
+    return CheckpointMode::kCheckpoint;
+  }
+
+  void on_epoch(Engine& engine) override;
+
+  /// Current (possibly adapted) delta window.
+  double current_delta() const { return delta_; }
+
+  const DspParams& params() const { return params_; }
+
+ private:
+  void urgent_pass(Engine& engine, int node,
+                   std::vector<Gid>& preemptable) const;
+  /// Returns {considered, preempted} counts for the adaptive controller.
+  std::pair<std::uint64_t, std::uint64_t> window_pass(
+      Engine& engine, int node, std::vector<Gid>& preemptable,
+      double pbar) const;
+  void adapt_delta(std::uint64_t considered, std::uint64_t preempted);
+  /// Straggler mitigation: vacate degraded nodes and migrate their work.
+  void mitigate_stragglers(Engine& engine) const;
+
+  DspParams params_;
+  DependencyPriority priority_;
+  std::vector<double> prio_;  // scratch, indexed by gid
+  double delta_;
+};
+
+}  // namespace dsp

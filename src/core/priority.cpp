@@ -1,0 +1,64 @@
+#include "core/priority.h"
+
+#include <algorithm>
+
+namespace dsp {
+
+double DependencyPriority::leaf_priority(const Engine& engine, Gid g) const {
+  const double t_rem = std::max(0.001, to_seconds(engine.remaining_time(g)));
+  // Accumulated waiting (not just the current stretch): a task keeps the
+  // priority it earned by waiting even while running, which stabilizes the
+  // C1 comparison between waiting and running tasks.
+  const double t_w = engine.accumulated_wait_s(g);
+  const double t_a = to_seconds(engine.allowable_waiting_time(g));
+  return params_.omega1 / t_rem + params_.omega2 * t_w + params_.omega3 * t_a;
+}
+
+void DependencyPriority::compute_job(const Engine& engine, JobId job,
+                                     std::vector<double>& out) const {
+  const Job& j = engine.job(job);
+  const TaskGraph& graph = j.graph();
+  const auto topo = graph.topo_order();
+  // Reverse topological order: every child's priority is ready before its
+  // parents aggregate it.
+  for (auto it = topo.rbegin(); it != topo.rend(); ++it) {
+    const TaskIndex t = *it;
+    const Gid g = engine.gid(job, t);
+    if (engine.state(g) == TaskState::kFinished) {
+      out[g] = 0.0;
+      continue;
+    }
+    double sum = 0.0;
+    bool has_live_child = false;
+    for (TaskIndex c : graph.children(t)) {
+      const Gid cg = engine.gid(job, c);
+      if (engine.state(cg) == TaskState::kFinished) continue;
+      has_live_child = true;
+      sum += (params_.gamma + 1.0) * out[cg];
+    }
+    out[g] = has_live_child ? sum : leaf_priority(engine, g);
+  }
+}
+
+DependencyPriority::Range DependencyPriority::compute_all(
+    const Engine& engine, std::vector<double>& out) const {
+  out.assign(engine.total_task_count(), 0.0);
+  Range range;
+  bool first = true;
+  for (JobId j = 0; j < engine.job_count(); ++j) {
+    if (!engine.job_scheduled(j) || engine.job_finished(j)) continue;
+    compute_job(engine, j, out);
+    for (TaskIndex t = 0; t < engine.job(j).task_count(); ++t) {
+      const Gid g = engine.gid(j, t);
+      const TaskState s = engine.state(g);
+      if (s == TaskState::kFinished || s == TaskState::kUnscheduled) continue;
+      if (first || out[g] < range.min_p) range.min_p = out[g];
+      if (first || out[g] > range.max_p) range.max_p = out[g];
+      first = false;
+      ++range.live_tasks;
+    }
+  }
+  return range;
+}
+
+}  // namespace dsp

@@ -1,0 +1,78 @@
+#include "dag/job.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace dsp {
+
+const char* to_string(JobSize s) {
+  switch (s) {
+    case JobSize::kSmall: return "small";
+    case JobSize::kMedium: return "medium";
+    case JobSize::kLarge: return "large";
+  }
+  return "?";
+}
+
+const char* to_string(JobTier t) {
+  switch (t) {
+    case JobTier::kProduction: return "production";
+    case JobTier::kResearch: return "research";
+  }
+  return "?";
+}
+
+bool Job::finalize(double reference_rate) {
+  assert(reference_rate > 0.0);
+  if (!graph_.finalized() && !graph_.finalize()) return false;
+
+  const int depth = graph_.depth();
+  for (auto& t : tasks_) t.level = graph_.level(t.index);
+
+  // Per-level worst-case execution time at the reference rate.
+  std::vector<SimTime> max_exec(static_cast<std::size_t>(depth) + 1, 0);
+  for (const auto& t : tasks_) {
+    const SimTime exec = from_seconds(t.size_mi / reference_rate);
+    auto& slot = max_exec[static_cast<std::size_t>(t.level)];
+    slot = std::max(slot, exec);
+  }
+
+  // t^d(level l) = job deadline - sum of per-level maxima below l.
+  std::vector<SimTime> level_deadline(static_cast<std::size_t>(depth) + 1, deadline_);
+  for (int l = depth - 1; l >= 1; --l)
+    level_deadline[static_cast<std::size_t>(l)] =
+        level_deadline[static_cast<std::size_t>(l) + 1] -
+        max_exec[static_cast<std::size_t>(l) + 1];
+
+  for (auto& t : tasks_)
+    t.deadline = level_deadline[static_cast<std::size_t>(t.level)];
+  return true;
+}
+
+double Job::total_work_mi() const {
+  double total = 0.0;
+  for (const auto& t : tasks_) total += t.size_mi;
+  return total;
+}
+
+SimTime Job::critical_path_time(double rate) const {
+  assert(graph_.finalized() && rate > 0.0);
+  // Longest path in summed execution time, one pass over topo order.
+  std::vector<SimTime> finish(tasks_.size(), 0);
+  SimTime best = 0;
+  for (TaskIndex t : graph_.topo_order()) {
+    SimTime start = 0;
+    for (TaskIndex p : graph_.parents(t)) start = std::max(start, finish[p]);
+    finish[t] = start + from_seconds(tasks_[t].size_mi / rate);
+    best = std::max(best, finish[t]);
+  }
+  return best;
+}
+
+std::size_t total_tasks(const JobSet& jobs) {
+  std::size_t n = 0;
+  for (const auto& j : jobs) n += j.task_count();
+  return n;
+}
+
+}  // namespace dsp

@@ -1,0 +1,96 @@
+// Job model: a deadline-constrained DAG of tasks.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "dag/task.h"
+#include "dag/task_graph.h"
+#include "util/time.h"
+
+namespace dsp {
+
+/// Size class from the paper's workload recipe (§V): a large job has 2000
+/// tasks, medium 1000, small several hundred (scaled in our benches).
+enum class JobSize { kSmall, kMedium, kLarge };
+
+/// Natjam's two-tier job taxonomy; other policies ignore it.
+enum class JobTier { kProduction, kResearch };
+
+const char* to_string(JobSize s);
+const char* to_string(JobTier t);
+
+/// A job J_i: tasks + dependency DAG + arrival/deadline.
+class Job {
+ public:
+  Job() = default;
+  Job(JobId id, std::size_t task_count)
+      : id_(id), tasks_(task_count), graph_(task_count) {
+    for (std::size_t j = 0; j < task_count; ++j)
+      tasks_[j].index = static_cast<TaskIndex>(j);
+  }
+
+  JobId id() const { return id_; }
+  void set_id(JobId id) { id_ = id; }
+
+  SimTime arrival() const { return arrival_; }
+  void set_arrival(SimTime t) { arrival_ = t; }
+
+  /// Absolute completion deadline t^d_i.
+  SimTime deadline() const { return deadline_; }
+  void set_deadline(SimTime t) { deadline_ = t; }
+
+  JobSize size_class() const { return size_class_; }
+  void set_size_class(JobSize s) { size_class_ = s; }
+
+  JobTier tier() const { return tier_; }
+  void set_tier(JobTier t) { tier_ = t; }
+
+  std::size_t task_count() const { return tasks_.size(); }
+  Task& task(TaskIndex j) { return tasks_.at(j); }
+  const Task& task(TaskIndex j) const { return tasks_.at(j); }
+  const std::vector<Task>& tasks() const { return tasks_; }
+
+  TaskGraph& graph() { return graph_; }
+  const TaskGraph& graph() const { return graph_; }
+
+  /// Adds dependency parent -> child (child waits for parent).
+  void add_dependency(TaskIndex parent, TaskIndex child) {
+    graph_.add_edge(parent, child);
+  }
+
+  /// Finalizes the DAG, assigns per-task levels and computes per-task
+  /// deadlines with the paper's per-level rule:
+  ///   t^d(level l) = t^d_i - sum_{k=l+1..L} max_j { t_jk }
+  /// where execution times are estimated at `reference_rate` MIPS.
+  /// Returns false on a cyclic dependency graph.
+  bool finalize(double reference_rate);
+
+  /// True once finalize() succeeded.
+  bool finalized() const { return graph_.finalized(); }
+
+  /// Total work in MI across all tasks.
+  double total_work_mi() const;
+
+  /// Critical-path execution time at `rate` MIPS: the longest dependency
+  /// chain measured in summed task durations. A lower bound on the job's
+  /// completion time on any cluster whose fastest node runs at `rate`.
+  SimTime critical_path_time(double rate) const;
+
+ private:
+  JobId id_ = kInvalidJob;
+  SimTime arrival_ = 0;
+  SimTime deadline_ = kMaxTime;
+  JobSize size_class_ = JobSize::kSmall;
+  JobTier tier_ = JobTier::kProduction;
+  std::vector<Task> tasks_;
+  TaskGraph graph_;
+};
+
+/// A batch of jobs submitted in one scheduling period.
+using JobSet = std::vector<Job>;
+
+/// Sum of task counts across a job set.
+std::size_t total_tasks(const JobSet& jobs);
+
+}  // namespace dsp

@@ -1,0 +1,148 @@
+#include "lp/milp.h"
+
+#include <algorithm>
+#include <cmath>
+#include <queue>
+
+#include "util/log.h"
+
+namespace dsp::lp {
+namespace {
+
+/// Index of the most fractional integral variable, or -1 if all integral.
+int most_fractional(const Model& model, const std::vector<double>& x,
+                    double int_tol) {
+  int best = -1;
+  double best_frac_dist = int_tol;
+  for (std::size_t i = 0; i < model.var_count(); ++i) {
+    if (!model.var(static_cast<VarId>(i)).is_integer) continue;
+    const double frac = x[i] - std::floor(x[i]);
+    const double dist = std::min(frac, 1.0 - frac);
+    if (dist > best_frac_dist) {
+      best_frac_dist = dist;
+      best = static_cast<int>(i);
+    }
+  }
+  return best;
+}
+
+}  // namespace
+
+Solution MilpSolver::solve(const Model& model) const {
+  last_nodes_ = 0;
+  SimplexSolver lp_solver(opts_.lp);
+  const double dir_sign =
+      model.direction() == Direction::kMinimize ? 1.0 : -1.0;
+
+  // The base model is copied per node with tightened bounds. Rather than
+  // copying the whole Model (constraints dominate), we keep a mutable copy
+  // and swap variable bounds in and out around each relaxation solve.
+  Model work = model;
+
+  struct OpenNode {
+    double bound;
+    std::vector<std::pair<VarId, std::pair<double, double>>> var_bounds;
+  };
+  auto cmp = [](const OpenNode& a, const OpenNode& b) { return a.bound > b.bound; };
+  std::priority_queue<OpenNode, std::vector<OpenNode>, decltype(cmp)> open(cmp);
+
+  Solution incumbent;
+  incumbent.status = SolveStatus::kNoSolution;
+  double incumbent_obj = kInf;  // in minimize direction
+
+  auto solve_relaxation = [&](const OpenNode& node) -> Solution {
+    // Apply bounds.
+    std::vector<std::pair<VarId, std::pair<double, double>>> saved;
+    saved.reserve(node.var_bounds.size());
+    for (const auto& [var, bounds] : node.var_bounds) {
+      auto& v = work.mutable_var(var);
+      saved.emplace_back(var, std::make_pair(v.lower, v.upper));
+      v.lower = std::max(v.lower, bounds.first);
+      v.upper = std::min(v.upper, bounds.second);
+    }
+    Solution sol = lp_solver.solve(work);
+    // Restore.
+    for (auto it = saved.rbegin(); it != saved.rend(); ++it) {
+      auto& v = work.mutable_var(it->first);
+      v.lower = it->second.first;
+      v.upper = it->second.second;
+    }
+    return sol;
+  };
+
+  OpenNode root{-kInf, {}};
+  {
+    const Solution rel = solve_relaxation(root);
+    ++last_nodes_;
+    if (rel.status == SolveStatus::kInfeasible) return {SolveStatus::kInfeasible, 0.0, {}};
+    if (rel.status == SolveStatus::kUnbounded) return {SolveStatus::kUnbounded, 0.0, {}};
+    if (rel.status != SolveStatus::kOptimal) return {rel.status, 0.0, {}};
+    const int frac_var = most_fractional(model, rel.x, opts_.int_tol);
+    if (frac_var < 0) {
+      Solution sol = rel;
+      sol.status = SolveStatus::kOptimal;
+      return sol;
+    }
+    root.bound = dir_sign * rel.objective;
+    const double val = rel.x[static_cast<std::size_t>(frac_var)];
+    OpenNode down = root, up = root;
+    down.var_bounds.emplace_back(frac_var, std::make_pair(-kInf, std::floor(val)));
+    up.var_bounds.emplace_back(frac_var, std::make_pair(std::ceil(val), kInf));
+    open.push(std::move(down));
+    open.push(std::move(up));
+  }
+
+  while (!open.empty() && last_nodes_ < opts_.max_nodes) {
+    OpenNode node = open.top();
+    open.pop();
+    if (node.bound >= incumbent_obj - opts_.gap_tol) break;  // best-bound pruning
+
+    const Solution rel = solve_relaxation(node);
+    ++last_nodes_;
+    if (rel.status != SolveStatus::kOptimal) continue;  // infeasible/limit: prune
+    const double rel_obj = dir_sign * rel.objective;
+    if (rel_obj >= incumbent_obj - opts_.gap_tol) continue;
+
+    const int frac_var = most_fractional(model, rel.x, opts_.int_tol);
+    if (frac_var < 0) {
+      // Integral: new incumbent.
+      incumbent = rel;
+      incumbent.status = SolveStatus::kOptimal;
+      incumbent_obj = rel_obj;
+      continue;
+    }
+    const double val = rel.x[static_cast<std::size_t>(frac_var)];
+    OpenNode down{rel_obj, node.var_bounds};
+    down.var_bounds.emplace_back(frac_var, std::make_pair(-kInf, std::floor(val)));
+    OpenNode up{rel_obj, std::move(node.var_bounds)};
+    up.var_bounds.emplace_back(frac_var, std::make_pair(std::ceil(val), kInf));
+    open.push(std::move(down));
+    open.push(std::move(up));
+  }
+
+  if (incumbent.status == SolveStatus::kOptimal) {
+    // Exhausted the tree => proven optimal; otherwise best-so-far.
+    const bool proven = open.empty() ||
+                        open.top().bound >= incumbent_obj - opts_.gap_tol;
+    incumbent.status = proven ? SolveStatus::kOptimal : SolveStatus::kNodeLimit;
+    return incumbent;
+  }
+  // No incumbent: an exhausted tree proves there is no integral feasible
+  // point; otherwise the node cap stopped us before finding one.
+  return {open.empty() ? SolveStatus::kInfeasible : SolveStatus::kNoSolution,
+          0.0,
+          {}};
+}
+
+bool round_to_integers(const Model& model, std::vector<double>& x, double tol) {
+  if (x.size() != model.var_count()) return false;
+  for (std::size_t i = 0; i < model.var_count(); ++i) {
+    const Variable& v = model.var(static_cast<VarId>(i));
+    if (!v.is_integer) continue;
+    x[i] = std::round(x[i]);
+    x[i] = std::clamp(x[i], v.lower, v.upper);
+  }
+  return model.is_feasible(x, tol);
+}
+
+}  // namespace dsp::lp

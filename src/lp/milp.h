@@ -1,0 +1,46 @@
+// Branch-and-bound MILP solver on top of SimplexSolver.
+//
+// Best-bound (priority-queue) search branching on the most fractional
+// integer variable. Suited to the small exact instances the DSP ILP
+// scheduler solves and to cross-validating the scheduling heuristic; a node
+// cap returns the best incumbent on larger models.
+#pragma once
+
+#include "lp/model.h"
+#include "lp/simplex.h"
+
+namespace dsp::lp {
+
+/// Branch & bound MILP solver.
+class MilpSolver {
+ public:
+  struct Options {
+    int max_nodes = 20000;        ///< Search-tree node cap.
+    double int_tol = 1e-6;        ///< Integrality tolerance.
+    double gap_tol = 1e-9;        ///< Absolute optimality gap to stop early.
+    SimplexSolver::Options lp{};  ///< Options for relaxation solves.
+  };
+
+  MilpSolver() = default;
+  explicit MilpSolver(Options opts) : opts_(opts) {}
+
+  /// Solves `model` to optimality (kOptimal), or returns the best incumbent
+  /// under the node cap (kNodeLimit), or kNoSolution/kInfeasible/kUnbounded.
+  Solution solve(const Model& model) const;
+
+  /// Nodes explored during the most recent solve.
+  int last_nodes() const { return last_nodes_; }
+
+ private:
+  Options opts_;
+  mutable int last_nodes_ = 0;
+};
+
+/// Rounds an LP-relaxation solution to the nearest integral point and
+/// repairs simple bound violations; the relax-and-round scheduling mode
+/// (paper §III: "relax ... then use integer rounding") uses this.
+/// Returns false when the rounded point is infeasible for `model`.
+bool round_to_integers(const Model& model, std::vector<double>& x,
+                       double tol = 1e-6);
+
+}  // namespace dsp::lp

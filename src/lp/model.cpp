@@ -1,0 +1,45 @@
+#include "lp/model.h"
+
+#include <cmath>
+
+namespace dsp::lp {
+
+const char* to_string(SolveStatus s) {
+  switch (s) {
+    case SolveStatus::kOptimal: return "optimal";
+    case SolveStatus::kInfeasible: return "infeasible";
+    case SolveStatus::kUnbounded: return "unbounded";
+    case SolveStatus::kIterationLimit: return "iteration-limit";
+    case SolveStatus::kNodeLimit: return "node-limit";
+    case SolveStatus::kNoSolution: return "no-solution";
+  }
+  return "?";
+}
+
+bool Model::is_feasible(const std::vector<double>& x, double tol) const {
+  if (x.size() != vars_.size()) return false;
+  for (std::size_t i = 0; i < vars_.size(); ++i) {
+    const auto& v = vars_[i];
+    if (x[i] < v.lower - tol || x[i] > v.upper + tol) return false;
+    if (v.is_integer && std::abs(x[i] - std::round(x[i])) > tol) return false;
+  }
+  for (const auto& c : constraints_) {
+    double lhs = 0.0;
+    for (const auto& [var, coeff] : c.expr.terms())
+      lhs += coeff * x[static_cast<std::size_t>(var)];
+    switch (c.sense) {
+      case Sense::kLe:
+        if (lhs > c.rhs + tol) return false;
+        break;
+      case Sense::kGe:
+        if (lhs < c.rhs - tol) return false;
+        break;
+      case Sense::kEq:
+        if (std::abs(lhs - c.rhs) > tol) return false;
+        break;
+    }
+  }
+  return true;
+}
+
+}  // namespace dsp::lp

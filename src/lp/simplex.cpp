@@ -1,0 +1,336 @@
+#include "lp/simplex.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <vector>
+
+#include "util/log.h"
+
+namespace dsp::lp {
+namespace {
+
+/// Internal row in `Ax (sense) b` form over the translated variables.
+struct Row {
+  std::vector<double> coeffs;  // dense over internal columns
+  Sense sense;
+  double rhs;
+};
+
+/// Mapping from a model variable to internal column(s).
+struct VarMap {
+  int pos_col = -1;   // column for the shifted/positive part
+  int neg_col = -1;   // column for the negative part (free vars only)
+  double shift = 0.0; // model value = internal value + shift (pos part)
+};
+
+/// Dense simplex tableau with Bland's rule.
+class Tableau {
+ public:
+  // rows: m constraint rows in equality form (slack/artificials appended by
+  // caller); the objective row is maintained separately.
+  Tableau(std::size_t m, std::size_t n) : m_(m), n_(n), a_(m, std::vector<double>(n, 0.0)), b_(m, 0.0), basis_(m, -1) {}
+
+  std::vector<std::vector<double>>& a() { return a_; }
+  std::vector<double>& b() { return b_; }
+  std::vector<int>& basis() { return basis_; }
+  std::size_t rows() const { return m_; }
+  std::size_t cols() const { return n_; }
+
+  /// Runs simplex minimizing cost^T x over the current basis.
+  /// `allowed[j]` = false bans column j from entering (used to freeze
+  /// artificials in phase 2). Returns status and spends from `budget`.
+  SolveStatus minimize(const std::vector<double>& cost,
+                       const std::vector<char>& allowed, double tol,
+                       int& budget) {
+    // Reduced-cost row: z_j = cost_j - c_B^T B^-1 A_j, maintained densely.
+    std::vector<double> z(n_);
+    double obj = 0.0;
+    compute_reduced_costs(cost, z, obj);
+
+    while (budget-- > 0) {
+      // Bland: entering = lowest-index allowed column with z_j < -tol.
+      int enter = -1;
+      for (std::size_t j = 0; j < n_; ++j) {
+        if (allowed[j] && z[j] < -tol) {
+          enter = static_cast<int>(j);
+          break;
+        }
+      }
+      if (enter < 0) return SolveStatus::kOptimal;
+
+      // Ratio test; Bland tie-break on smallest basis variable index.
+      int leave_row = -1;
+      double best_ratio = 0.0;
+      for (std::size_t i = 0; i < m_; ++i) {
+        const double aij = a_[i][static_cast<std::size_t>(enter)];
+        if (aij > tol) {
+          const double ratio = b_[i] / aij;
+          if (leave_row < 0 || ratio < best_ratio - tol ||
+              (std::abs(ratio - best_ratio) <= tol &&
+               basis_[i] < basis_[static_cast<std::size_t>(leave_row)])) {
+            leave_row = static_cast<int>(i);
+            best_ratio = ratio;
+          }
+        }
+      }
+      if (leave_row < 0) return SolveStatus::kUnbounded;
+
+      pivot(static_cast<std::size_t>(leave_row), static_cast<std::size_t>(enter),
+            z);
+    }
+    return SolveStatus::kIterationLimit;
+  }
+
+  /// Extracts the current basic solution over internal columns.
+  std::vector<double> solution() const {
+    std::vector<double> x(n_, 0.0);
+    for (std::size_t i = 0; i < m_; ++i)
+      if (basis_[i] >= 0) x[static_cast<std::size_t>(basis_[i])] = b_[i];
+    return x;
+  }
+
+  /// Attempts to pivot every basic artificial (column >= first_artificial)
+  /// out of the basis; rows where that is impossible are redundant and
+  /// zeroed.
+  void expel_artificials(std::size_t first_artificial, double tol) {
+    for (std::size_t i = 0; i < m_; ++i) {
+      if (basis_[i] < 0 || static_cast<std::size_t>(basis_[i]) < first_artificial)
+        continue;
+      int enter = -1;
+      for (std::size_t j = 0; j < first_artificial; ++j) {
+        if (std::abs(a_[i][j]) > tol) {
+          enter = static_cast<int>(j);
+          break;
+        }
+      }
+      if (enter >= 0) {
+        std::vector<double> dummy(n_, 0.0);
+        pivot(i, static_cast<std::size_t>(enter), dummy);
+      } else {
+        // Redundant row: every structural coefficient is 0.
+        std::fill(a_[i].begin(), a_[i].end(), 0.0);
+        b_[i] = 0.0;
+        basis_[i] = -1;
+      }
+    }
+  }
+
+ private:
+  void compute_reduced_costs(const std::vector<double>& cost,
+                             std::vector<double>& z, double& obj) const {
+    // y_i = cost of basic variable in row i; z_j = cost_j - sum_i y_i a_ij.
+    obj = 0.0;
+    std::vector<double> y(m_, 0.0);
+    for (std::size_t i = 0; i < m_; ++i) {
+      if (basis_[i] >= 0) {
+        y[i] = cost[static_cast<std::size_t>(basis_[i])];
+        obj += y[i] * b_[i];
+      }
+    }
+    for (std::size_t j = 0; j < n_; ++j) {
+      double dot = 0.0;
+      for (std::size_t i = 0; i < m_; ++i) dot += y[i] * a_[i][j];
+      z[j] = cost[j] - dot;
+    }
+  }
+
+  void pivot(std::size_t row, std::size_t col, std::vector<double>& z) {
+    const double pivot_val = a_[row][col];
+    assert(std::abs(pivot_val) > 0.0);
+    const double inv = 1.0 / pivot_val;
+    for (std::size_t j = 0; j < n_; ++j) a_[row][j] *= inv;
+    b_[row] *= inv;
+    a_[row][col] = 1.0;  // clean up rounding
+    for (std::size_t i = 0; i < m_; ++i) {
+      if (i == row) continue;
+      const double factor = a_[i][col];
+      if (factor == 0.0) continue;
+      for (std::size_t j = 0; j < n_; ++j) a_[i][j] -= factor * a_[row][j];
+      a_[i][col] = 0.0;
+      b_[i] -= factor * b_[row];
+    }
+    const double zfactor = z[col];
+    if (zfactor != 0.0) {
+      for (std::size_t j = 0; j < n_; ++j) z[j] -= zfactor * a_[row][j];
+      z[col] = 0.0;
+    }
+    basis_[row] = static_cast<int>(col);
+  }
+
+  std::size_t m_, n_;
+  std::vector<std::vector<double>> a_;
+  std::vector<double> b_;
+  std::vector<int> basis_;
+};
+
+}  // namespace
+
+Solution SimplexSolver::solve(const Model& model) const {
+  const double tol = opts_.tol;
+  last_iterations_ = 0;
+
+  // ---- Translate model variables to internal non-negative columns. ----
+  std::vector<VarMap> vmap(model.var_count());
+  int ncols = 0;
+  for (std::size_t i = 0; i < model.var_count(); ++i) {
+    const Variable& v = model.var(static_cast<VarId>(i));
+    if (v.lower > v.upper + tol) return {SolveStatus::kInfeasible, 0.0, {}};
+    if (std::isfinite(v.lower)) {
+      vmap[i].pos_col = ncols++;
+      vmap[i].shift = v.lower;
+    } else {
+      // Free (or upper-bounded-only) variable: x = pos - neg.
+      vmap[i].pos_col = ncols++;
+      vmap[i].neg_col = ncols++;
+      vmap[i].shift = 0.0;
+    }
+  }
+
+  // ---- Build rows: model constraints + finite upper bounds. ----
+  const auto n_struct = static_cast<std::size_t>(ncols);
+  std::vector<Row> rows;
+  rows.reserve(model.constraint_count() + model.var_count());
+
+  auto expr_to_dense = [&](const LinearExpr& expr, std::vector<double>& coeffs,
+                           double& shift_sum) {
+    coeffs.assign(n_struct, 0.0);
+    shift_sum = 0.0;
+    for (const auto& [var, coeff] : expr.terms()) {
+      const auto& vm = vmap[static_cast<std::size_t>(var)];
+      coeffs[static_cast<std::size_t>(vm.pos_col)] += coeff;
+      if (vm.neg_col >= 0) coeffs[static_cast<std::size_t>(vm.neg_col)] -= coeff;
+      shift_sum += coeff * vm.shift;
+    }
+  };
+
+  for (const auto& c : model.constraints()) {
+    Row row;
+    double shift_sum = 0.0;
+    expr_to_dense(c.expr, row.coeffs, shift_sum);
+    row.sense = c.sense;
+    row.rhs = c.rhs - shift_sum;
+    rows.push_back(std::move(row));
+  }
+  for (std::size_t i = 0; i < model.var_count(); ++i) {
+    const Variable& v = model.var(static_cast<VarId>(i));
+    if (!std::isfinite(v.upper)) continue;
+    Row row;
+    row.coeffs.assign(n_struct, 0.0);
+    row.coeffs[static_cast<std::size_t>(vmap[i].pos_col)] = 1.0;
+    if (vmap[i].neg_col >= 0)
+      row.coeffs[static_cast<std::size_t>(vmap[i].neg_col)] = -1.0;
+    row.sense = Sense::kLe;
+    row.rhs = v.upper - vmap[i].shift;
+    rows.push_back(std::move(row));
+  }
+
+  // Normalize: rhs >= 0 by negating rows.
+  for (auto& row : rows) {
+    if (row.rhs < 0.0) {
+      for (auto& c : row.coeffs) c = -c;
+      row.rhs = -row.rhs;
+      if (row.sense == Sense::kLe) row.sense = Sense::kGe;
+      else if (row.sense == Sense::kGe) row.sense = Sense::kLe;
+    }
+  }
+
+  // ---- Count slack and artificial columns. ----
+  const std::size_t m = rows.size();
+  std::size_t n_slack = 0, n_art = 0;
+  for (const auto& row : rows) {
+    if (row.sense != Sense::kEq) ++n_slack;
+    if (row.sense != Sense::kLe) ++n_art;  // Ge and Eq need artificials
+  }
+  const std::size_t total_cols = n_struct + n_slack + n_art;
+  const std::size_t first_art = n_struct + n_slack;
+
+  Tableau tab(m, total_cols);
+  {
+    std::size_t slack_at = n_struct;
+    std::size_t art_at = first_art;
+    for (std::size_t i = 0; i < m; ++i) {
+      auto& arow = tab.a()[i];
+      std::copy(rows[i].coeffs.begin(), rows[i].coeffs.end(), arow.begin());
+      tab.b()[i] = rows[i].rhs;
+      switch (rows[i].sense) {
+        case Sense::kLe:
+          arow[slack_at] = 1.0;
+          tab.basis()[i] = static_cast<int>(slack_at);
+          ++slack_at;
+          break;
+        case Sense::kGe:
+          arow[slack_at] = -1.0;
+          ++slack_at;
+          arow[art_at] = 1.0;
+          tab.basis()[i] = static_cast<int>(art_at);
+          ++art_at;
+          break;
+        case Sense::kEq:
+          arow[art_at] = 1.0;
+          tab.basis()[i] = static_cast<int>(art_at);
+          ++art_at;
+          break;
+      }
+    }
+  }
+
+  int budget = opts_.max_iterations;
+  const std::vector<char> all_allowed(total_cols, 1);
+
+  // ---- Phase 1: minimize artificial sum. ----
+  if (n_art > 0) {
+    std::vector<double> phase1_cost(total_cols, 0.0);
+    for (std::size_t j = first_art; j < total_cols; ++j) phase1_cost[j] = 1.0;
+    const SolveStatus st = tab.minimize(phase1_cost, all_allowed, tol, budget);
+    last_iterations_ = opts_.max_iterations - budget;
+    if (st == SolveStatus::kIterationLimit)
+      return {SolveStatus::kIterationLimit, 0.0, {}};
+    // Residual artificial value > tol means no feasible point exists.
+    double art_sum = 0.0;
+    const auto x = tab.solution();
+    for (std::size_t j = first_art; j < total_cols; ++j) art_sum += x[j];
+    if (art_sum > 1e-6) return {SolveStatus::kInfeasible, 0.0, {}};
+    tab.expel_artificials(first_art, tol);
+  }
+
+  // ---- Phase 2: original objective over structural+slack columns. ----
+  const double sign = model.direction() == Direction::kMinimize ? 1.0 : -1.0;
+  std::vector<double> cost(total_cols, 0.0);
+  double const_term = 0.0;
+  for (std::size_t i = 0; i < model.var_count(); ++i) {
+    const Variable& v = model.var(static_cast<VarId>(i));
+    const auto& vm = vmap[i];
+    cost[static_cast<std::size_t>(vm.pos_col)] += sign * v.objective;
+    if (vm.neg_col >= 0) cost[static_cast<std::size_t>(vm.neg_col)] -= sign * v.objective;
+    const_term += v.objective * vm.shift;
+  }
+  std::vector<char> allowed(total_cols, 1);
+  for (std::size_t j = first_art; j < total_cols; ++j) allowed[j] = 0;
+
+  const SolveStatus st = tab.minimize(cost, allowed, tol, budget);
+  last_iterations_ = opts_.max_iterations - budget;
+  if (st == SolveStatus::kUnbounded) return {SolveStatus::kUnbounded, 0.0, {}};
+  if (st == SolveStatus::kIterationLimit)
+    return {SolveStatus::kIterationLimit, 0.0, {}};
+
+  // ---- Recover model-space solution. ----
+  const auto internal = tab.solution();
+  Solution sol;
+  sol.status = SolveStatus::kOptimal;
+  sol.x.resize(model.var_count());
+  for (std::size_t i = 0; i < model.var_count(); ++i) {
+    const auto& vm = vmap[i];
+    double val = internal[static_cast<std::size_t>(vm.pos_col)] + vm.shift;
+    if (vm.neg_col >= 0) val -= internal[static_cast<std::size_t>(vm.neg_col)];
+    // Clamp tiny bound violations from pivoting round-off.
+    const Variable& v = model.var(static_cast<VarId>(i));
+    val = std::clamp(val, v.lower, v.upper);
+    sol.x[i] = val;
+  }
+  sol.objective = model.objective_value(sol.x);
+  (void)const_term;
+  return sol;
+}
+
+}  // namespace dsp::lp

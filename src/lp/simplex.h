@@ -1,0 +1,41 @@
+// Two-phase primal simplex over a dense tableau.
+//
+// Designed for the small-to-medium models the DSP ILP scheduler produces
+// (hundreds of variables/rows). Bland's anti-cycling rule guarantees
+// termination; an iteration cap guards against pathological inputs.
+//
+// General bounds are handled by translation: variables are shifted so the
+// working lower bound is 0, free variables are split into positive parts,
+// and finite upper bounds become explicit rows.
+#pragma once
+
+#include "lp/model.h"
+
+namespace dsp::lp {
+
+/// Dense two-phase primal simplex LP solver.
+///
+/// Integrality markers on variables are ignored — this solves the
+/// continuous relaxation. Use MilpSolver for integral models.
+class SimplexSolver {
+ public:
+  struct Options {
+    int max_iterations = 100000;  ///< Total pivot cap across both phases.
+    double tol = 1e-9;            ///< Numerical tolerance.
+  };
+
+  SimplexSolver() = default;
+  explicit SimplexSolver(Options opts) : opts_(opts) {}
+
+  /// Solves the continuous relaxation of `model`.
+  Solution solve(const Model& model) const;
+
+  /// Pivot count of the most recent solve (for benchmarks).
+  int last_iterations() const { return last_iterations_; }
+
+ private:
+  Options opts_;
+  mutable int last_iterations_ = 0;
+};
+
+}  // namespace dsp::lp

@@ -1,0 +1,109 @@
+#include "metrics/report.h"
+
+#include <cassert>
+#include <cstdio>
+
+namespace dsp {
+
+MetricSeries::MetricSeries(std::vector<std::string> methods,
+                           std::vector<long long> xs, std::string x_label)
+    : methods_(std::move(methods)),
+      xs_(std::move(xs)),
+      x_label_(std::move(x_label)),
+      grid_(methods_.size() * xs_.size()) {}
+
+void MetricSeries::set(std::size_t method, std::size_t x, RunMetrics metrics) {
+  assert(method < methods_.size() && x < xs_.size());
+  grid_[x * methods_.size() + method] = std::move(metrics);
+}
+
+const RunMetrics& MetricSeries::at(std::size_t method, std::size_t x) const {
+  assert(method < methods_.size() && x < xs_.size());
+  return grid_[x * methods_.size() + method];
+}
+
+Table MetricSeries::table(const std::string& title,
+                          const std::function<double(const RunMetrics&)>& extract,
+                          int precision) const {
+  Table t(title);
+  std::vector<std::string> header{x_label_};
+  header.insert(header.end(), methods_.begin(), methods_.end());
+  t.set_header(std::move(header));
+  for (std::size_t x = 0; x < xs_.size(); ++x) {
+    std::vector<std::string> row{std::to_string(xs_[x])};
+    for (std::size_t m = 0; m < methods_.size(); ++m)
+      row.push_back(fmt(extract(at(m, x)), precision));
+    t.add_row(std::move(row));
+  }
+  return t;
+}
+
+Table MetricSeries::makespan_table(const std::string& title) const {
+  return table(title, [](const RunMetrics& m) { return to_seconds(m.makespan); });
+}
+
+Table MetricSeries::throughput_table(const std::string& title) const {
+  return table(title,
+               [](const RunMetrics& m) { return m.throughput_tasks_per_ms(); },
+               4);
+}
+
+Table MetricSeries::disorders_table(const std::string& title) const {
+  return table(title,
+               [](const RunMetrics& m) { return static_cast<double>(m.disorders); },
+               0);
+}
+
+Table MetricSeries::waiting_table(const std::string& title) const {
+  return table(title, [](const RunMetrics& m) { return m.avg_job_waiting_s(); });
+}
+
+Table MetricSeries::preemptions_table(const std::string& title) const {
+  return table(
+      title, [](const RunMetrics& m) { return static_cast<double>(m.preemptions); },
+      0);
+}
+
+Table job_class_table(const RunMetrics& m, const std::string& title) {
+  Table t(title);
+  t.set_header({"class", "jobs", "avg-completion(s)", "avg-wait(s)",
+                "deadline-met"});
+  for (JobSize cls : {JobSize::kSmall, JobSize::kMedium, JobSize::kLarge}) {
+    std::size_t n = 0, met = 0;
+    double wait = 0.0;
+    for (const auto& r : m.job_records) {
+      if (r.size_class != cls) continue;
+      ++n;
+      if (r.met_deadline) ++met;
+      wait += r.mean_task_wait_s;
+    }
+    t.add_row({to_string(cls), fmt_count(static_cast<long long>(n)),
+               fmt(m.avg_completion_s(&cls)),
+               fmt(n ? wait / static_cast<double>(n) : 0.0),
+               n ? fmt(100.0 * static_cast<double>(met) /
+                           static_cast<double>(n),
+                       1) + "%"
+                 : "-"});
+  }
+  return t;
+}
+
+std::string summarize(const RunMetrics& m) {
+  char buf[512];
+  std::snprintf(
+      buf, sizeof buf,
+      "makespan=%s tasks=%llu jobs=%llu (deadline-met %llu) "
+      "throughput=%.4f tasks/ms avg-wait=%.2fs preemptions=%llu "
+      "(suppressed %llu) disorders=%llu util=%.1f%%",
+      format_time(m.makespan).c_str(),
+      static_cast<unsigned long long>(m.tasks_finished),
+      static_cast<unsigned long long>(m.jobs_finished),
+      static_cast<unsigned long long>(m.jobs_met_deadline),
+      m.throughput_tasks_per_ms(), m.avg_job_waiting_s(),
+      static_cast<unsigned long long>(m.preemptions),
+      static_cast<unsigned long long>(m.suppressed_preemptions),
+      static_cast<unsigned long long>(m.disorders), m.slot_utilization * 100.0);
+  return buf;
+}
+
+}  // namespace dsp

@@ -1,0 +1,60 @@
+#include "sim/cluster.h"
+
+#include <algorithm>
+
+namespace dsp {
+
+double ClusterSpec::mean_rate() const {
+  if (nodes_.empty()) return 0.0;
+  double total = 0.0;
+  for (std::size_t k = 0; k < nodes_.size(); ++k) total += rate(k);
+  return total / static_cast<double>(nodes_.size());
+}
+
+double ClusterSpec::max_rate() const {
+  double best = 0.0;
+  for (std::size_t k = 0; k < nodes_.size(); ++k) best = std::max(best, rate(k));
+  return best;
+}
+
+int ClusterSpec::total_slots() const {
+  int total = 0;
+  for (const auto& n : nodes_) total += n.slots;
+  return total;
+}
+
+ClusterSpec ClusterSpec::real_cluster(std::size_t n) {
+  // Sun X2200 (AMD Opteron 2356, 4 cores @ 2.3 GHz, 16 GB RAM); 1 GB/s
+  // network, 720 GB disk per §V. A 2.3 GHz Opteron core is roughly
+  // 2300 MIPS-equivalent in the paper's accounting.
+  NodeSpec spec;
+  spec.cpu_mips = 2300.0;
+  spec.mem_gb = 16.0;
+  spec.capacity = Resources{/*cpu=*/4.0, /*mem=*/16.0, /*disk=*/720000.0,
+                            /*bw=*/1000.0};
+  spec.slots = 4;
+  return ClusterSpec(std::vector<NodeSpec>(n, spec));
+}
+
+ClusterSpec ClusterSpec::ec2(std::size_t n) {
+  // HP ProLiant ML110 G5: 2660 MIPS, 4 GB RAM (paper §V), dual-core era.
+  NodeSpec spec;
+  spec.cpu_mips = 2660.0;
+  spec.mem_gb = 4.0;
+  spec.capacity = Resources{/*cpu=*/2.0, /*mem=*/4.0, /*disk=*/720000.0,
+                            /*bw=*/1000.0};
+  spec.slots = 2;
+  return ClusterSpec(std::vector<NodeSpec>(n, spec));
+}
+
+ClusterSpec ClusterSpec::uniform(std::size_t n, double cpu_mips, double mem_gb,
+                                 int slots) {
+  NodeSpec spec;
+  spec.cpu_mips = cpu_mips;
+  spec.mem_gb = mem_gb;
+  spec.capacity = Resources{static_cast<double>(slots), mem_gb, 720000.0, 1000.0};
+  spec.slots = slots;
+  return ClusterSpec(std::vector<NodeSpec>(n, spec));
+}
+
+}  // namespace dsp

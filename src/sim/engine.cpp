@@ -1,0 +1,817 @@
+#include "sim/engine.h"
+
+#include <algorithm>
+#include <cassert>
+#include <chrono>
+
+#include "util/log.h"
+
+namespace dsp {
+
+const char* to_string(TaskState s) {
+  switch (s) {
+    case TaskState::kUnscheduled: return "unscheduled";
+    case TaskState::kWaiting: return "waiting";
+    case TaskState::kRunning: return "running";
+    case TaskState::kHoarding: return "hoarding";
+    case TaskState::kSuspended: return "suspended";
+    case TaskState::kFinished: return "finished";
+  }
+  return "?";
+}
+
+const char* to_string(PreemptResult r) {
+  switch (r) {
+    case PreemptResult::kOk: return "ok";
+    case PreemptResult::kIncomingNotReady: return "incoming-not-ready";
+    case PreemptResult::kIncomingNotWaiting: return "incoming-not-waiting";
+    case PreemptResult::kVictimNotRunning: return "victim-not-running";
+    case PreemptResult::kNoResources: return "no-resources";
+  }
+  return "?";
+}
+
+// Default dispatch rule: first ready, fitting task in planned-start order.
+Gid Scheduler::select_next(int node, Engine& engine,
+                           const std::vector<std::uint8_t>& excluded) {
+  for (Gid g : engine.waiting(node)) {
+    if (excluded[g]) continue;
+    if (!engine.is_ready(g)) continue;
+    if (!engine.available(node).fits(engine.task_info(g).demand)) continue;
+    return g;
+  }
+  return kInvalidGid;
+}
+
+Engine::Engine(ClusterSpec cluster, JobSet jobs, Scheduler& scheduler,
+               PreemptionPolicy* preempt, EngineParams params)
+    : cluster_(std::move(cluster)),
+      jobs_(std::move(jobs)),
+      scheduler_(scheduler),
+      preempt_(preempt),
+      params_(params) {
+  // Flat indexing.
+  job_offset_.resize(jobs_.size());
+  Gid next = 0;
+  for (std::size_t j = 0; j < jobs_.size(); ++j) {
+    assert(jobs_[j].finalized() && "jobs must be finalized before simulation");
+    // Engine addresses jobs by their position; keep ids consistent.
+    jobs_[j].set_id(static_cast<JobId>(j));
+    job_offset_[j] = next;
+    next += static_cast<Gid>(jobs_[j].task_count());
+  }
+  task_job_.resize(next);
+  task_index_.resize(next);
+  rt_.resize(next);
+  dispatch_excluded_.assign(next, 0);
+  launch_blocked_.assign(next, 0);
+  for (std::size_t j = 0; j < jobs_.size(); ++j) {
+    for (TaskIndex t = 0; t < jobs_[j].task_count(); ++t) {
+      const Gid g = job_offset_[j] + t;
+      task_job_[g] = static_cast<JobId>(j);
+      task_index_[g] = t;
+      rt_[g].unfinished_parents =
+          static_cast<std::uint32_t>(jobs_[j].graph().parents(t).size());
+    }
+  }
+
+  nodes_.resize(cluster_.size());
+  for (std::size_t k = 0; k < cluster_.size(); ++k) {
+    nodes_[k].available = cluster_.node(k).capacity;
+    nodes_[k].free_slots = cluster_.node(k).slots;
+  }
+
+  job_rt_.resize(jobs_.size());
+  for (std::size_t j = 0; j < jobs_.size(); ++j) {
+    job_rt_[j].unfinished_tasks =
+        static_cast<std::uint32_t>(jobs_[j].task_count());
+    push_event(jobs_[j].arrival(), EventKind::kArrival, static_cast<Gid>(j), 0);
+    first_arrival_ = std::min(first_arrival_, jobs_[j].arrival());
+  }
+  if (jobs_.empty()) first_arrival_ = 0;
+
+  // Period ticks start with the first arrival; epoch ticks only when an
+  // online policy is installed.
+  push_event(first_arrival_, EventKind::kPeriod, kInvalidGid, 0);
+  if (preempt_)
+    push_event(first_arrival_ + params_.epoch, EventKind::kEpoch, kInvalidGid, 0);
+}
+
+void Engine::push_event(SimTime t, EventKind kind, Gid gid, std::uint32_t token) {
+  events_.push(Event{t, event_seq_++, kind, gid, token});
+}
+
+double Engine::remaining_mi(Gid g) const {
+  const TaskRt& r = rt_[g];
+  double executed = r.executed_mi;
+  // A running task's progress advances continuously; account for the
+  // portion executed since its last dispatch.
+  if (r.state == TaskState::kRunning) {
+    const SimTime worked = now_ - r.last_dispatch - r.current_overhead;
+    if (worked > 0)
+      executed += to_seconds(worked) * node_rate(r.node);
+  }
+  return std::max(0.0, task_info(g).size_mi - executed);
+}
+
+SimTime Engine::remaining_time(Gid g) const {
+  const int node = rt_[g].node;
+  const double rate = node >= 0 ? node_rate(node) : cluster_.mean_rate();
+  return from_seconds(remaining_mi(g) / rate);
+}
+
+SimTime Engine::waiting_time(Gid g) const {
+  const TaskRt& r = rt_[g];
+  if ((r.state == TaskState::kWaiting || r.state == TaskState::kSuspended) &&
+      r.waiting_since != kNoTime)
+    return now_ - r.waiting_since;
+  return 0;
+}
+
+bool Engine::depends_on(Gid dependent, Gid precedent) const {
+  if (task_job_[dependent] != task_job_[precedent]) return false;
+  return jobs_[task_job_[dependent]].graph().depends_on(task_index_[dependent],
+                                                        task_index_[precedent]);
+}
+
+RunMetrics Engine::run() {
+  assert(!ran_ && "Engine::run may be called once");
+  ran_ = true;
+  const auto wall_start = std::chrono::steady_clock::now();
+
+  while (!events_.empty()) {
+    const Event e = events_.top();
+    events_.pop();
+    if (e.time > params_.horizon) {
+      DSP_WARN("engine: horizon %lld us exceeded; aborting with %zu/%zu jobs done",
+               static_cast<long long>(params_.horizon), finished_jobs_,
+               jobs_.size());
+      break;
+    }
+    assert(e.time >= now_);
+    now_ = e.time;
+    switch (e.kind) {
+      case EventKind::kArrival: on_arrival(static_cast<JobId>(e.gid)); break;
+      case EventKind::kPeriod: on_period(); break;
+      case EventKind::kEpoch: on_epoch(); break;
+      case EventKind::kFinish: on_finish(e.gid, e.token); break;
+      case EventKind::kHoardTimeout: on_hoard_timeout(e.gid, e.token); break;
+      case EventKind::kNodeEvent: on_node_event(e.gid); break;
+    }
+    if (all_jobs_finished()) break;
+  }
+
+  if (!all_jobs_finished())
+    DSP_WARN("engine: finished with %zu/%zu jobs incomplete",
+             jobs_.size() - finished_jobs_, jobs_.size());
+
+  metrics_.makespan = std::max<SimTime>(0, last_finish_ - first_arrival_);
+  double busy = 0.0;
+  for (const auto& n : nodes_) busy += n.busy_us;
+  const double slot_time = static_cast<double>(metrics_.makespan) *
+                           static_cast<double>(cluster_.total_slots());
+  metrics_.slot_utilization = slot_time > 0.0 ? busy / slot_time : 0.0;
+  metrics_.sim_wall_s =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - wall_start)
+          .count();
+  return metrics_;
+}
+
+void Engine::on_arrival(JobId job) { pending_jobs_.push_back(job); }
+
+bool Engine::add_job_dependency(JobId predecessor, JobId successor) {
+  assert(!ran_ && "declare job dependencies before run()");
+  if (predecessor >= jobs_.size() || successor >= jobs_.size() ||
+      predecessor == successor) {
+    DSP_ERROR("invalid job dependency %u -> %u", predecessor, successor);
+    return false;
+  }
+  // Cycle check: DFS from `successor` along existing successor edges must
+  // not reach `predecessor`'s... (i.e. predecessor must not be reachable
+  // FROM successor).
+  std::vector<JobId> stack{successor};
+  std::vector<std::uint8_t> seen(jobs_.size(), 0);
+  seen[successor] = 1;
+  while (!stack.empty()) {
+    const JobId j = stack.back();
+    stack.pop_back();
+    if (j == predecessor) {
+      DSP_WARN("job dependency %u -> %u would create a cycle; ignored",
+               predecessor, successor);
+      return false;
+    }
+    for (JobId s : job_rt_[j].successor_jobs)
+      if (!seen[s]) {
+        seen[s] = 1;
+        stack.push_back(s);
+      }
+  }
+  job_rt_[predecessor].successor_jobs.push_back(successor);
+  ++job_rt_[successor].pred_jobs_remaining;
+  return true;
+}
+
+void Engine::set_failure_plan(const FailurePlan& plan) {
+  assert(!ran_ && "install the failure plan before run()");
+  for (const NodeEvent& event : plan.sorted_events()) {
+    if (event.node < 0 || static_cast<std::size_t>(event.node) >= cluster_.size()) {
+      DSP_ERROR("failure plan references unknown node %d", event.node);
+      continue;
+    }
+    failure_events_.push_back(event);
+    push_event(event.at, EventKind::kNodeEvent,
+               static_cast<Gid>(failure_events_.size() - 1), 0);
+  }
+}
+
+void Engine::on_node_event(std::size_t index) {
+  const NodeEvent& event = failure_events_[index];
+  NodeRt& n = nodes_[static_cast<std::size_t>(event.node)];
+  switch (event.kind) {
+    case NodeEvent::Kind::kFail:
+      if (n.up) fail_node(event.node);
+      break;
+    case NodeEvent::Kind::kRecover:
+      if (!n.up) recover_node(event.node);
+      break;
+    case NodeEvent::Kind::kSlowdown:
+      if (n.up && n.speed_factor != event.factor) {
+        rebase_running(event.node);
+        n.speed_factor = event.factor;
+        rebase_running(event.node);  // reschedule finishes at the new rate
+      }
+      break;
+    case NodeEvent::Kind::kRestoreSpeed:
+      if (n.up && n.speed_factor != 1.0) {
+        rebase_running(event.node);
+        n.speed_factor = 1.0;
+        rebase_running(event.node);
+      }
+      break;
+  }
+}
+
+void Engine::rebase_running(int node) {
+  NodeRt& n = nodes_[static_cast<std::size_t>(node)];
+  for (Gid g : n.running) {
+    TaskRt& r = rt_[g];
+    if (r.state != TaskState::kRunning) continue;  // hoarders have no event
+    // Bank progress at the *current* effective rate, then re-arm the
+    // finish event for the remaining work.
+    const SimTime elapsed = now_ - r.last_dispatch;
+    const SimTime worked = std::max<SimTime>(0, elapsed - r.current_overhead);
+    r.executed_mi += to_seconds(worked) * node_rate(node);
+    r.executed_mi = std::min(r.executed_mi, task_info(g).size_mi);
+    n.busy_us += static_cast<double>(elapsed);
+    const SimTime overhead_left =
+        std::max<SimTime>(0, r.current_overhead - elapsed);
+    r.last_dispatch = now_;
+    r.current_overhead = overhead_left;
+    ++r.token;
+    const double remaining =
+        std::max(0.0, task_info(g).size_mi - r.executed_mi);
+    push_event(now_ + overhead_left + from_seconds(remaining / node_rate(node)),
+               EventKind::kFinish, g, r.token);
+  }
+}
+
+void Engine::fail_node(int node) {
+  NodeRt& n = nodes_[static_cast<std::size_t>(node)];
+  ++metrics_.node_failures;
+  n.up = false;
+  if (observer_) observer_->on_node_failure(now_, node, /*failed=*/true);
+
+  // Kill occupants. With surviving checkpoints a task keeps the progress
+  // it had checkpointed; otherwise everything re-executes.
+  const std::vector<Gid> occupants = n.running;
+  for (Gid g : occupants) {
+    TaskRt& r = rt_[g];
+    ++metrics_.tasks_killed_by_failure;
+    if (r.state == TaskState::kRunning) {
+      const SimTime elapsed = now_ - r.last_dispatch;
+      const SimTime worked = std::max<SimTime>(0, elapsed - r.current_overhead);
+      const double progress = to_seconds(worked) * node_rate(node);
+      if (params_.checkpoints_survive_failure) {
+        r.executed_mi = std::min(r.executed_mi + progress,
+                                 task_info(g).size_mi);
+        // The un-checkpointed tail since the last event is conservatively
+        // kept: continuous checkpointing.
+      } else {
+        metrics_.work_lost_mi += r.executed_mi + progress;
+        r.executed_mi = 0.0;
+      }
+      n.busy_us += static_cast<double>(elapsed);
+      if (observer_)
+        observer_->on_task_suspend(now_, g, node,
+                                   params_.checkpoints_survive_failure);
+    } else if (r.state == TaskState::kHoarding) {
+      if (observer_) observer_->on_hoard_evict(now_, g, node);
+    }
+    ++r.token;
+    ++r.preemptions;
+    r.state = TaskState::kSuspended;
+    n.available += task_info(g).demand;
+    ++n.free_slots;
+    enqueue_waiting(node, g);
+  }
+  n.running.clear();
+
+  // Re-place everything queued on the dead node onto live nodes.
+  const std::vector<Gid> stranded = n.waiting;
+  for (Gid g : stranded) replace_waiting_task(g);
+}
+
+void Engine::recover_node(int node) {
+  NodeRt& n = nodes_[static_cast<std::size_t>(node)];
+  n.up = true;
+  n.speed_factor = 1.0;
+  if (observer_) observer_->on_node_failure(now_, node, /*failed=*/false);
+  fill_slots(node);
+}
+
+void Engine::replace_waiting_task(Gid g) {
+  TaskRt& r = rt_[g];
+  const int old_node = r.node;
+  int best = -1;
+  double best_backlog = 0.0;
+  for (std::size_t k = 0; k < cluster_.size(); ++k) {
+    if (!nodes_[k].up || static_cast<int>(k) == old_node) continue;
+    if (!cluster_.node(k).capacity.fits(task_info(g).demand)) continue;
+    if (best < 0 || nodes_[k].backlog_mi < best_backlog) {
+      best = static_cast<int>(k);
+      best_backlog = nodes_[k].backlog_mi;
+    }
+  }
+  if (best < 0) return;  // no live node fits: wait for recovery
+  remove_waiting(old_node, g);
+  nodes_[static_cast<std::size_t>(old_node)].backlog_mi =
+      std::max(0.0, nodes_[static_cast<std::size_t>(old_node)].backlog_mi -
+                        task_info(g).size_mi);
+  r.node = best;
+  nodes_[static_cast<std::size_t>(best)].backlog_mi += task_info(g).size_mi;
+  const auto key = std::make_pair(r.planned_start, g);
+  auto& waiting = nodes_[static_cast<std::size_t>(best)].waiting;
+  auto it = std::lower_bound(waiting.begin(), waiting.end(), key,
+                             [this](Gid a, const std::pair<SimTime, Gid>& k) {
+                               return std::make_pair(rt_[a].planned_start, a) < k;
+                             });
+  waiting.insert(it, g);
+  if (nodes_[static_cast<std::size_t>(best)].free_slots > 0) fill_slots(best);
+}
+
+void Engine::on_period() {
+  if (!pending_jobs_.empty()) {
+    std::vector<JobId> pending;
+    pending.swap(pending_jobs_);
+    const auto placements = scheduler_.schedule(pending, *this);
+    if (observer_)
+      observer_->on_schedule_round(now_, pending.size(), placements.size());
+    apply_placements(placements, pending);
+    fill_all_slots();
+  }
+  if (!all_jobs_finished())
+    push_event(now_ + params_.period, EventKind::kPeriod, kInvalidGid, 0);
+}
+
+void Engine::on_epoch() {
+  if (preempt_) {
+    preempt_->on_epoch(*this);
+    fill_all_slots();
+    if (!all_jobs_finished())
+      push_event(now_ + params_.epoch, EventKind::kEpoch, kInvalidGid, 0);
+  }
+}
+
+void Engine::apply_placements(const std::vector<TaskPlacement>& placements,
+                              const std::vector<JobId>& pending) {
+  // Mark expected tasks.
+  for (JobId j : pending) job_rt_[j].scheduled = true;
+
+  std::vector<std::uint8_t> placed(rt_.size(), 0);
+  for (const auto& p : placements) {
+    if (p.task >= rt_.size() || p.node < 0 ||
+        static_cast<std::size_t>(p.node) >= cluster_.size()) {
+      DSP_ERROR("scheduler %s produced an invalid placement (task %u node %d)",
+                scheduler_.name(), p.task, p.node);
+      continue;
+    }
+    if (rt_[p.task].state != TaskState::kUnscheduled || placed[p.task]) {
+      DSP_ERROR("scheduler %s placed task %u twice", scheduler_.name(), p.task);
+      continue;
+    }
+    const auto& cap = cluster_.node(static_cast<std::size_t>(p.node)).capacity;
+    if (!cap.fits(task_info(p.task).demand)) {
+      DSP_WARN("placement of task %u exceeds node %d capacity; re-placing",
+               p.task, p.node);
+      continue;  // falls through to the fallback pass below
+    }
+    if (!nodes_[static_cast<std::size_t>(p.node)].up) {
+      DSP_DEBUG("placement of task %u targets down node %d; re-placing",
+                p.task, p.node);
+      continue;  // fallback pass places it on a live node
+    }
+    placed[p.task] = 1;
+    rt_[p.task].node = p.node;
+    rt_[p.task].planned_start = p.planned_start;
+    enqueue_waiting(p.node, p.task);
+  }
+
+  // Fallback: any unplaced task of a pending job goes to the least-loaded
+  // node that can hold it. Keeps runs comparable even when a scheduler
+  // mis-places (logged above).
+  for (JobId j : pending) {
+    for (TaskIndex t = 0; t < jobs_[j].task_count(); ++t) {
+      const Gid g = gid(j, t);
+      if (placed[g] || rt_[g].state != TaskState::kUnscheduled) continue;
+      int best = -1;
+      double best_backlog = 0.0;
+      for (std::size_t k = 0; k < cluster_.size(); ++k) {
+        if (!nodes_[k].up) continue;
+        if (!cluster_.node(k).capacity.fits(task_info(g).demand)) continue;
+        const double backlog = nodes_[k].backlog_mi;
+        if (best < 0 || backlog < best_backlog) {
+          best = static_cast<int>(k);
+          best_backlog = backlog;
+        }
+      }
+      if (best < 0) {
+        DSP_ERROR("task %u fits no node; it will never run", g);
+        continue;
+      }
+      DSP_DEBUG("fallback placement: task %u -> node %d", g, best);
+      rt_[g].node = best;
+      rt_[g].planned_start = now_;
+      enqueue_waiting(best, g);
+    }
+  }
+}
+
+void Engine::enqueue_waiting(int node, Gid g) {
+  TaskRt& r = rt_[g];
+  NodeRt& n = nodes_[static_cast<std::size_t>(node)];
+  if (r.state == TaskState::kUnscheduled) {
+    r.state = TaskState::kWaiting;
+    n.backlog_mi += task_info(g).size_mi;
+  }
+  r.waiting_since = now_;
+  const auto key = std::make_pair(r.planned_start, g);
+  auto it = std::lower_bound(n.waiting.begin(), n.waiting.end(), key,
+                             [this](Gid a, const std::pair<SimTime, Gid>& k) {
+                               return std::make_pair(rt_[a].planned_start, a) < k;
+                             });
+  n.waiting.insert(it, g);
+}
+
+void Engine::remove_waiting(int node, Gid g) {
+  NodeRt& n = nodes_[static_cast<std::size_t>(node)];
+  auto it = std::find(n.waiting.begin(), n.waiting.end(), g);
+  assert(it != n.waiting.end());
+  n.waiting.erase(it);
+}
+
+void Engine::fill_all_slots() {
+  for (std::size_t k = 0; k < nodes_.size(); ++k)
+    if (nodes_[k].up && nodes_[k].free_slots > 0 && !nodes_[k].waiting.empty())
+      fill_slots(static_cast<int>(k));
+}
+
+void Engine::fill_slots(int node) {
+  NodeRt& n = nodes_[static_cast<std::size_t>(node)];
+  if (!n.up) return;
+  std::vector<Gid> touched;
+  // A dependency-blind policy can nominate unready task after unready task.
+  // Each rejection persistently blocks the task (launch_blocked_) so it is
+  // not re-nominated until its inputs appear; the per-event budget is a
+  // backstop against policies that ignore the blocked flag.
+  int disorder_budget = 1024;
+  while (n.free_slots > 0 && !n.waiting.empty()) {
+    const Gid g = scheduler_.select_next(node, *this, dispatch_excluded_);
+    if (g == kInvalidGid) break;
+    if (g >= rt_.size() || rt_[g].node != node ||
+        (rt_[g].state != TaskState::kWaiting &&
+         rt_[g].state != TaskState::kSuspended)) {
+      DSP_ERROR("scheduler %s selected an invalid task %u for dispatch",
+                scheduler_.name(), g);
+      break;
+    }
+    if (dispatch_excluded_[g]) break;  // policy ignored the exclusion set
+    if (!is_ready(g)) {
+      // Dependency disorder. A slot-hoarding executor launches the task
+      // anyway and it idles in the slot until its inputs appear; otherwise
+      // the launch check rejects it and blocks re-nomination until its
+      // precedents finish.
+      ++metrics_.disorders;
+      if (scheduler_.hoards_slots() &&
+          n.available.fits(task_info(g).demand)) {
+        remove_waiting(node, g);
+        start_hoarding(node, g);
+        continue;
+      }
+      launch_blocked_[g] = 1;
+      dispatch_excluded_[g] = 1;
+      touched.push_back(g);
+      if (--disorder_budget <= 0) break;
+      continue;
+    }
+    if (!n.available.fits(task_info(g).demand)) {
+      dispatch_excluded_[g] = 1;
+      touched.push_back(g);
+      continue;
+    }
+    SimTime overhead = 0;
+    if (rt_[g].state == TaskState::kSuspended) {
+      const bool checkpointed =
+          !preempt_ ||
+          preempt_->checkpoint_mode() == CheckpointMode::kCheckpoint;
+      overhead = checkpointed ? params_.recovery + params_.ctx_switch
+                              : params_.ctx_switch;
+    }
+    remove_waiting(node, g);
+    start_task(node, g, overhead);
+  }
+  for (Gid g : touched) dispatch_excluded_[g] = 0;
+}
+
+void Engine::start_hoarding(int node, Gid g) {
+  TaskRt& r = rt_[g];
+  NodeRt& n = nodes_[static_cast<std::size_t>(node)];
+  assert(n.free_slots > 0 && !is_ready(g));
+  if (r.waiting_since != kNoTime) {
+    r.total_wait_s += to_seconds(now_ - r.waiting_since);
+    r.waiting_since = kNoTime;
+  }
+  r.state = TaskState::kHoarding;
+  ++r.token;
+  n.available -= task_info(g).demand;
+  --n.free_slots;
+  n.running.push_back(g);
+  push_event(now_ + params_.hoard_timeout, EventKind::kHoardTimeout, g, r.token);
+  if (observer_) observer_->on_hoard_start(now_, g, node);
+}
+
+void Engine::activate_hoarding(Gid g) {
+  TaskRt& r = rt_[g];
+  assert(r.state == TaskState::kHoarding && is_ready(g));
+  // The slot and resources are already held; begin real execution now.
+  // Hoarded time is deliberately NOT counted as busy slot time. No input
+  // transfer is charged either: the task had the whole hoarding window to
+  // prefetch its data.
+  if (r.first_start == kNoTime) r.first_start = now_;
+  r.state = TaskState::kRunning;
+  r.last_dispatch = now_;
+  r.current_overhead = 0;
+  ++r.token;
+  const double remaining = std::max(0.0, task_info(g).size_mi - r.executed_mi);
+  const SimTime run_time =
+      from_seconds(remaining / node_rate(r.node));
+  push_event(now_ + run_time, EventKind::kFinish, g, r.token);
+  if (observer_) observer_->on_task_start(now_, g, r.node, /*overhead=*/0);
+}
+
+void Engine::on_hoard_timeout(Gid g, std::uint32_t token) {
+  TaskRt& r = rt_[g];
+  if (r.token != token || r.state != TaskState::kHoarding) return;  // stale
+  // Evict: the executor gives up on the missing inputs and requeues the
+  // task, freeing the slot it was wasting.
+  const int node = r.node;
+  NodeRt& n = nodes_[static_cast<std::size_t>(node)];
+  ++r.token;
+  r.state = TaskState::kWaiting;
+  n.available += task_info(g).demand;
+  ++n.free_slots;
+  n.running.erase(std::find(n.running.begin(), n.running.end(), g));
+  launch_blocked_[g] = 1;  // do not re-launch until inputs appear
+  // Re-insert into the waiting queue; state must not look unscheduled.
+  const auto key = std::make_pair(r.planned_start, g);
+  auto it = std::lower_bound(n.waiting.begin(), n.waiting.end(), key,
+                             [this](Gid a, const std::pair<SimTime, Gid>& k) {
+                               return std::make_pair(rt_[a].planned_start, a) < k;
+                             });
+  n.waiting.insert(it, g);
+  r.waiting_since = now_;
+  if (observer_) observer_->on_hoard_evict(now_, g, node);
+  fill_slots(node);
+}
+
+void Engine::start_task(int node, Gid g, SimTime resume_overhead) {
+  TaskRt& r = rt_[g];
+  NodeRt& n = nodes_[static_cast<std::size_t>(node)];
+  assert(n.free_slots > 0);
+  assert(r.state == TaskState::kWaiting || r.state == TaskState::kSuspended);
+
+  if (r.waiting_since != kNoTime) {
+    r.total_wait_s += to_seconds(now_ - r.waiting_since);
+    r.waiting_since = kNoTime;
+  }
+  if (r.first_start == kNoTime) {
+    r.first_start = now_;
+    // First launch fetches the input data; afterwards it is node-local.
+    const Task& info = task_info(g);
+    if (!info.input_nodes.empty()) {
+      const SimTime fetch = transfer_time(g, node);
+      resume_overhead += fetch;
+      if (fetch > 0) ++metrics_.locality_remote;
+      else ++metrics_.locality_local;
+    }
+  }
+  r.state = TaskState::kRunning;
+  r.last_dispatch = now_;
+  r.current_overhead = resume_overhead;
+  ++r.token;
+  metrics_.overhead_s += to_seconds(resume_overhead);
+
+  n.available -= task_info(g).demand;
+  --n.free_slots;
+  n.running.push_back(g);
+
+  const double remaining = std::max(0.0, task_info(g).size_mi - r.executed_mi);
+  const SimTime run_time = from_seconds(remaining / node_rate(node));
+  push_event(now_ + resume_overhead + run_time, EventKind::kFinish, g, r.token);
+  if (observer_) observer_->on_task_start(now_, g, node, resume_overhead);
+}
+
+void Engine::suspend_task(int node, Gid g) {
+  TaskRt& r = rt_[g];
+  NodeRt& n = nodes_[static_cast<std::size_t>(node)];
+  assert(r.state == TaskState::kRunning && r.node == node);
+
+  // Accrue progress: time on slot minus the dispatch overhead window.
+  const SimTime elapsed = now_ - r.last_dispatch;
+  const SimTime worked = std::max<SimTime>(0, elapsed - r.current_overhead);
+  r.executed_mi += to_seconds(worked) * node_rate(node);
+  r.executed_mi = std::min(r.executed_mi, task_info(g).size_mi);
+  n.busy_us += static_cast<double>(elapsed);
+
+  const bool checkpointed =
+      !preempt_ || preempt_->checkpoint_mode() == CheckpointMode::kCheckpoint;
+  if (!checkpointed) {
+    // Restart from scratch (SRPT): the progress is discarded.
+    metrics_.work_lost_mi += r.executed_mi;
+    r.executed_mi = 0.0;
+  }
+
+  ++r.token;  // invalidate the in-flight finish event
+  ++r.preemptions;
+  r.state = TaskState::kSuspended;
+
+  n.available += task_info(g).demand;
+  ++n.free_slots;
+  n.running.erase(std::find(n.running.begin(), n.running.end(), g));
+  enqueue_waiting(node, g);
+  if (observer_) observer_->on_task_suspend(now_, g, node, checkpointed);
+}
+
+PreemptResult Engine::try_preempt(int node, Gid victim, Gid incoming) {
+  assert(node >= 0 && static_cast<std::size_t>(node) < nodes_.size());
+  NodeRt& n = nodes_[static_cast<std::size_t>(node)];
+  if (rt_[victim].state != TaskState::kRunning || rt_[victim].node != node)
+    return PreemptResult::kVictimNotRunning;
+  const TaskState in_state = rt_[incoming].state;
+  if ((in_state != TaskState::kWaiting && in_state != TaskState::kSuspended) ||
+      rt_[incoming].node != node)
+    return PreemptResult::kIncomingNotWaiting;
+  if (!is_ready(incoming)) {
+    ++metrics_.disorders;
+    launch_blocked_[incoming] = 1;
+    return PreemptResult::kIncomingNotReady;
+  }
+  // Resource check with the victim's reservation returned.
+  Resources freed = n.available + task_info(victim).demand;
+  if (!freed.fits(task_info(incoming).demand))
+    return PreemptResult::kNoResources;
+
+  suspend_task(node, victim);
+  ++metrics_.preemptions;
+
+  SimTime overhead = params_.ctx_switch;
+  if (in_state == TaskState::kSuspended) {
+    const bool checkpointed =
+        !preempt_ || preempt_->checkpoint_mode() == CheckpointMode::kCheckpoint;
+    if (checkpointed) overhead += params_.recovery;
+  }
+  remove_waiting(node, incoming);
+  start_task(node, incoming, overhead);
+  return PreemptResult::kOk;
+}
+
+bool Engine::evict_running(Gid g) {
+  const TaskRt& r = rt_[g];
+  if (r.state != TaskState::kRunning) return false;
+  suspend_task(r.node, g);
+  ++metrics_.preemptions;
+  return true;
+}
+
+bool Engine::migrate_task(Gid g, int to_node) {
+  TaskRt& r = rt_[g];
+  if (r.state != TaskState::kWaiting && r.state != TaskState::kSuspended)
+    return false;
+  if (to_node < 0 || static_cast<std::size_t>(to_node) >= nodes_.size() ||
+      to_node == r.node)
+    return false;
+  NodeRt& dst = nodes_[static_cast<std::size_t>(to_node)];
+  if (!dst.up || !cluster_.node(static_cast<std::size_t>(to_node))
+                      .capacity.fits(task_info(g).demand))
+    return false;
+
+  const int from = r.node;
+  remove_waiting(from, g);
+  nodes_[static_cast<std::size_t>(from)].backlog_mi = std::max(
+      0.0,
+      nodes_[static_cast<std::size_t>(from)].backlog_mi - task_info(g).size_mi);
+  r.node = to_node;
+  dst.backlog_mi += task_info(g).size_mi;
+  const auto key = std::make_pair(r.planned_start, g);
+  auto it = std::lower_bound(dst.waiting.begin(), dst.waiting.end(), key,
+                             [this](Gid a, const std::pair<SimTime, Gid>& k) {
+                               return std::make_pair(rt_[a].planned_start, a) < k;
+                             });
+  dst.waiting.insert(it, g);
+  if (dst.free_slots > 0) fill_slots(to_node);
+  return true;
+}
+
+void Engine::on_finish(Gid g, std::uint32_t token) {
+  TaskRt& r = rt_[g];
+  if (r.token != token || r.state != TaskState::kRunning) return;  // stale
+
+  const int node = r.node;
+  NodeRt& n = nodes_[static_cast<std::size_t>(node)];
+  r.state = TaskState::kFinished;
+  r.finish = now_;
+  r.executed_mi = task_info(g).size_mi;
+  ++r.token;
+  n.busy_us += static_cast<double>(now_ - r.last_dispatch);
+  n.available += task_info(g).demand;
+  ++n.free_slots;
+  n.running.erase(std::find(n.running.begin(), n.running.end(), g));
+  n.backlog_mi = std::max(0.0, n.backlog_mi - task_info(g).size_mi);
+
+  last_finish_ = std::max(last_finish_, now_);
+  ++metrics_.tasks_finished;
+
+  // Wake children; a hoarding child whose last input just appeared starts
+  // executing in place.
+  const JobId j = task_job_[g];
+  const TaskGraph& graph = jobs_[j].graph();
+  for (TaskIndex child : graph.children(task_index_[g])) {
+    const Gid cg = gid(j, child);
+    TaskRt& c = rt_[cg];
+    assert(c.unfinished_parents > 0);
+    if (--c.unfinished_parents == 0 && c.state == TaskState::kHoarding)
+      activate_hoarding(cg);
+  }
+
+  if (observer_) observer_->on_task_finish(now_, g, node);
+
+  JobRt& jr = job_rt_[j];
+  jr.serviced_mi += task_info(g).size_mi;
+  assert(jr.unfinished_tasks > 0);
+  if (--jr.unfinished_tasks == 0) complete_job(j);
+
+  fill_slots(node);
+  // A child that became ready may be queued on another idle node.
+  for (TaskIndex child : graph.children(task_index_[g])) {
+    const TaskRt& c = rt_[gid(j, child)];
+    if (c.node >= 0 && c.node != node && c.unfinished_parents == 0 &&
+        nodes_[static_cast<std::size_t>(c.node)].free_slots > 0)
+      fill_slots(c.node);
+  }
+}
+
+void Engine::complete_job(JobId j) {
+  JobRt& jr = job_rt_[j];
+  jr.finished = true;
+  ++finished_jobs_;
+  ++metrics_.jobs_finished;
+
+  SimTime finish = 0;
+  double wait_total = 0.0;
+  for (TaskIndex t = 0; t < jobs_[j].task_count(); ++t) {
+    const TaskRt& r = rt_[gid(j, t)];
+    finish = std::max(finish, r.finish);
+    wait_total += r.total_wait_s;
+  }
+  const double mean_wait =
+      wait_total / static_cast<double>(jobs_[j].task_count());
+  metrics_.job_waiting_s.push_back(mean_wait);
+  const bool met = finish <= jobs_[j].deadline();
+  if (met)
+    ++metrics_.jobs_met_deadline;
+  else
+    ++metrics_.deadline_misses;
+  metrics_.job_records.push_back(JobRecord{j, jobs_[j].size_class(),
+                                           jobs_[j].tier(), jobs_[j].arrival(),
+                                           finish, mean_wait, met});
+  if (observer_) observer_->on_job_complete(now_, j);
+
+  // Unblock successor jobs (cross-job dependencies).
+  bool unblocked = false;
+  for (JobId s : jr.successor_jobs) {
+    assert(job_rt_[s].pred_jobs_remaining > 0);
+    if (--job_rt_[s].pred_jobs_remaining == 0) unblocked = true;
+  }
+  if (unblocked) fill_all_slots();
+}
+
+}  // namespace dsp

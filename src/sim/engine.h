@@ -1,0 +1,364 @@
+// Discrete-event cluster simulator.
+//
+// Substitutes for the paper's physical testbeds (Palmetto, EC2): nodes with
+// multi-resource capacities and run slots execute DAG jobs under an offline
+// Scheduler and an online PreemptionPolicy. Single-threaded and
+// deterministic: identical inputs produce identical runs.
+//
+// Execution model
+//   - A node k runs up to `slots` tasks concurrently, each at rate g(k)
+//     MIPS (Eq. (1)/(2)), provided their summed resource demands fit the
+//     node's capacity.
+//   - Scheduling periods (paper: 5 min): the Scheduler places all tasks of
+//     the jobs that arrived during the previous period; tasks enter their
+//     node's waiting queue ordered by planned start time.
+//   - Epochs: the PreemptionPolicy runs and may suspend running tasks in
+//     favour of waiting ones. A preempted task re-enters the queue; when it
+//     later resumes it pays the recovery cost t^r + sigma (checkpoint
+//     restore + context switch). Under CheckpointMode::kRestart all its
+//     progress is lost instead (SRPT's behaviour in §V).
+//   - Dispatch: whenever a slot frees, the Scheduler's select_next picks a
+//     waiting task. Selecting a task whose precedents have not finished is
+//     counted as a *disorder* (Fig. 6(a)) and the launch is refused.
+#pragma once
+
+#include <cstdint>
+#include <queue>
+#include <vector>
+
+#include "dag/job.h"
+#include "sim/cluster.h"
+#include "sim/failures.h"
+#include "sim/observer.h"
+#include "sim/policy.h"
+#include "sim/run_metrics.h"
+#include "sim/types.h"
+#include "util/time.h"
+
+namespace dsp {
+
+/// Engine tuning knobs (defaults follow the paper's §V settings).
+struct EngineParams {
+  SimTime period = 5 * kMinute;        ///< Offline scheduling period.
+  SimTime epoch = 30 * kSecond;        ///< Online preemption epoch.
+  SimTime ctx_switch = 50 * kMillisecond;  ///< sigma (Table II: 0.05 s).
+  SimTime recovery = 250 * kMillisecond;   ///< t^r: checkpoint restore cost.
+  /// How long a hoarding task (launched without its inputs by a
+  /// dependency-blind scheduler) may hold a slot before being evicted and
+  /// requeued. Prevents whole-cluster hoarding deadlock.
+  SimTime hoard_timeout = 30 * kSecond;
+  /// Whether a failed node's tasks resume from their checkpoints (stored
+  /// on shared storage) or restart from scratch after the failure.
+  bool checkpoints_survive_failure = true;
+  /// Effective bandwidth for reading a task's input data from a remote
+  /// node (data locality, §VI future work). A task launched off its input
+  /// nodes first fetches input_mb at this rate.
+  double remote_read_bw_mbps = 100.0;
+  SimTime horizon = 2000 * kHour;      ///< Hard stop for runaway runs.
+};
+
+/// The simulator. Construct with a cluster, a finalized workload and
+/// policies, call run() once.
+class Engine {
+ public:
+  /// `preempt` may be null (no online preemption, as for the Fig. 5
+  /// scheduler baselines). Jobs must be finalized.
+  Engine(ClusterSpec cluster, JobSet jobs, Scheduler& scheduler,
+         PreemptionPolicy* preempt, EngineParams params = {});
+
+  /// Runs the simulation to completion and returns the metrics.
+  /// Must be called at most once.
+  RunMetrics run();
+
+  /// Installs an observer receiving every engine state transition
+  /// (timeline recording, invariant checking). Call before run().
+  /// The engine does not own the observer.
+  void set_observer(SimObserver* observer) { observer_ = observer; }
+
+  /// Installs a failure/straggler injection plan. Call before run().
+  void set_failure_plan(const FailurePlan& plan);
+
+  /// Declares a cross-job dependency (§VI future work): no task of
+  /// `successor` may start before every task of `predecessor` has
+  /// finished (e.g. a report job consuming an ETL job's output). Call
+  /// before run(); returns false (and ignores the edge) if it would
+  /// create a cycle among jobs.
+  bool add_job_dependency(JobId predecessor, JobId successor);
+
+  /// Number of predecessor jobs of `j` that have not completed yet.
+  std::uint32_t unfinished_predecessor_jobs(JobId j) const {
+    return job_rt_[j].pred_jobs_remaining;
+  }
+
+  /// True while node `k` is up (failed nodes accept no work).
+  bool node_up(int node) const {
+    return nodes_[static_cast<std::size_t>(node)].up;
+  }
+  /// Current speed factor of `node` (1.0 nominal; < 1 while straggling).
+  double node_speed_factor(int node) const {
+    return nodes_[static_cast<std::size_t>(node)].speed_factor;
+  }
+
+  // ------------------------------------------------------------------
+  // Read API for policies.
+  // ------------------------------------------------------------------
+  SimTime now() const { return now_; }
+  const EngineParams& params() const { return params_; }
+  const ClusterSpec& cluster() const { return cluster_; }
+  std::size_t node_count() const { return cluster_.size(); }
+  std::size_t job_count() const { return jobs_.size(); }
+
+  const Job& job(JobId j) const { return jobs_[j]; }
+  JobId job_of(Gid g) const { return task_job_[g]; }
+  TaskIndex index_of(Gid g) const { return task_index_[g]; }
+  Gid gid(JobId j, TaskIndex t) const { return job_offset_[j] + t; }
+  const Task& task_info(Gid g) const {
+    return jobs_[task_job_[g]].task(task_index_[g]);
+  }
+
+  TaskState state(Gid g) const { return rt_[g].state; }
+  /// True when every precedent task has finished and every predecessor
+  /// *job* (cross-job dependency) has completed.
+  bool is_ready(Gid g) const {
+    return rt_[g].unfinished_parents == 0 &&
+           job_rt_[task_job_[g]].pred_jobs_remaining == 0;
+  }
+  /// True when a previous launch/preempt-in attempt failed the input
+  /// check and the task has not become ready since. Dependency-blind
+  /// policies skip blocked tasks instead of re-attempting them every
+  /// event (a real scheduler remembers the failed launch until the
+  /// missing inputs appear).
+  bool launch_blocked(Gid g) const {
+    return launch_blocked_[g] != 0 && !is_ready(g);
+  }
+  /// Work left in MI (size minus executed).
+  double remaining_mi(Gid g) const;
+  /// Remaining execution time at the task's assigned node's rate
+  /// (falls back to the cluster mean rate while unassigned).
+  SimTime remaining_time(Gid g) const;
+  /// Time since the task last entered the waiting queue (0 if not waiting).
+  SimTime waiting_time(Gid g) const;
+  /// Total time the task has spent waiting across its whole life,
+  /// including the current stretch. Priority formulas use this: a task
+  /// that earned priority by waiting keeps it while running, which
+  /// prevents preemption ping-pong between equal tasks.
+  double accumulated_wait_s(Gid g) const {
+    return rt_[g].total_wait_s + to_seconds(waiting_time(g));
+  }
+  /// Absolute per-task deadline t^d_ij (from the per-level rule).
+  SimTime task_deadline(Gid g) const { return task_info(g).deadline; }
+  /// Allowable waiting time t^a = t^d - now - t^rem (paper §IV-B).
+  SimTime allowable_waiting_time(Gid g) const {
+    return task_deadline(g) - now_ - remaining_time(g);
+  }
+  int assigned_node(Gid g) const { return rt_[g].node; }
+  int preemption_count(Gid g) const { return rt_[g].preemptions; }
+  SimTime planned_start(Gid g) const { return rt_[g].planned_start; }
+
+  /// True when `dependent` (transitively) depends on `precedent`.
+  /// Tasks of different jobs never depend on each other.
+  bool depends_on(Gid dependent, Gid precedent) const;
+
+  /// Waiting queue of `node` in ascending planned-start order
+  /// (includes suspended tasks awaiting resume).
+  const std::vector<Gid>& waiting(int node) const {
+    return nodes_[static_cast<std::size_t>(node)].waiting;
+  }
+  /// Tasks currently running on `node`.
+  const std::vector<Gid>& running(int node) const {
+    return nodes_[static_cast<std::size_t>(node)].running;
+  }
+  /// Resources currently unreserved on `node`.
+  const Resources& available(int node) const {
+    return nodes_[static_cast<std::size_t>(node)].available;
+  }
+  int free_slots(int node) const {
+    return nodes_[static_cast<std::size_t>(node)].free_slots;
+  }
+  /// Effective rate: nominal g(k) scaled by the current straggler factor.
+  double node_rate(int node) const {
+    return cluster_.rate(static_cast<std::size_t>(node)) *
+           nodes_[static_cast<std::size_t>(node)].speed_factor;
+  }
+  /// Execution time of `g` on `node` ignoring preemption (Eq. (2)).
+  SimTime exec_time(Gid g, int node) const {
+    return from_seconds(task_info(g).size_mi / node_rate(node));
+  }
+  /// Time to fetch `g`'s input data when launched on `node`: zero when
+  /// the data is node-local (or the task has no input constraint).
+  SimTime transfer_time(Gid g, int node) const {
+    const Task& t = task_info(g);
+    if (t.input_local_to(node)) return 0;
+    return from_seconds(t.input_mb / params_.remote_read_bw_mbps);
+  }
+  /// Outstanding work assigned to `node` in MI (waiting + running).
+  double node_backlog_mi(int node) const {
+    return nodes_[static_cast<std::size_t>(node)].backlog_mi;
+  }
+
+  /// Count of successful preemptions so far (for adaptive controllers).
+  std::uint64_t preemptions_so_far() const { return metrics_.preemptions; }
+
+  /// True once the offline scheduler has placed this job's tasks.
+  bool job_scheduled(JobId j) const { return job_rt_[j].scheduled; }
+  /// True when every task of the job has finished.
+  bool job_finished(JobId j) const { return job_rt_[j].finished; }
+  /// Number of this job's tasks that have not finished yet.
+  std::uint32_t unfinished_task_count(JobId j) const {
+    return job_rt_[j].unfinished_tasks;
+  }
+  /// Total number of tasks across all jobs (the Gid domain size).
+  std::size_t total_task_count() const { return rt_.size(); }
+  /// Work (MI) of this job's finished tasks — the "service received so
+  /// far" signal Aalo's multi-level queues demote on.
+  double job_serviced_mi(JobId j) const { return job_rt_[j].serviced_mi; }
+
+  // ------------------------------------------------------------------
+  // Mutation API for preemption policies.
+  // ------------------------------------------------------------------
+  /// Suspends `victim` (running on `node`) and starts `incoming` (waiting
+  /// on `node`) in its place. On kIncomingNotReady a disorder is recorded
+  /// and nothing changes. Respects the policy's CheckpointMode.
+  PreemptResult try_preempt(int node, Gid victim, Gid incoming);
+
+  /// Records a preemption that was considered but suppressed (DSP's
+  /// normalized-priority method reports these for Fig. 6(d) analysis).
+  void note_suppressed_preemption() { ++metrics_.suppressed_preemptions; }
+
+  /// Evicts a running task back to its node's waiting queue (checkpoint
+  /// semantics apply). Counts as a preemption. Policies use this for
+  /// straggler mitigation: vacate a degraded node so the work can migrate.
+  /// Returns false when `g` is not running.
+  bool evict_running(Gid g);
+
+  /// Moves a waiting/suspended task to another node's queue (keeps its
+  /// planned start). Fails when the task is not waiting, the target is
+  /// down, or the task does not fit the target's capacity.
+  bool migrate_task(Gid g, int to_node);
+
+ private:
+  enum class EventKind : std::uint8_t {
+    kArrival,
+    kPeriod,
+    kEpoch,
+    kFinish,
+    kHoardTimeout,
+    kNodeEvent,  ///< gid indexes into failure_events_.
+  };
+  struct Event {
+    SimTime time;
+    std::uint64_t seq;
+    EventKind kind;
+    Gid gid;             // task for kFinish; job id for kArrival
+    std::uint32_t token; // validity check for kFinish
+
+    bool operator>(const Event& o) const {
+      return time != o.time ? time > o.time : seq > o.seq;
+    }
+  };
+
+  struct TaskRt {
+    TaskState state = TaskState::kUnscheduled;
+    int node = -1;
+    SimTime planned_start = 0;
+    double executed_mi = 0.0;
+    SimTime waiting_since = kNoTime;
+    SimTime first_start = kNoTime;
+    SimTime finish = kNoTime;
+    SimTime last_dispatch = kNoTime;
+    SimTime current_overhead = 0;
+    double total_wait_s = 0.0;
+    std::uint32_t token = 0;
+    std::int32_t preemptions = 0;
+    std::uint32_t unfinished_parents = 0;
+  };
+
+  struct NodeRt {
+    std::vector<Gid> waiting;  // sorted by (planned_start, gid)
+    std::vector<Gid> running;
+    Resources available;
+    int free_slots = 0;
+    double backlog_mi = 0.0;
+    double busy_us = 0.0;  // accumulated slot-busy microseconds
+    bool up = true;
+    double speed_factor = 1.0;
+  };
+
+  struct JobRt {
+    std::uint32_t unfinished_tasks = 0;
+    std::uint32_t pred_jobs_remaining = 0;  // cross-job dependencies
+    std::vector<JobId> successor_jobs;
+    double serviced_mi = 0.0;
+    bool scheduled = false;
+    bool finished = false;
+  };
+
+  void push_event(SimTime t, EventKind kind, Gid gid, std::uint32_t token);
+  void on_arrival(JobId job);
+  void on_period();
+  void on_epoch();
+  void on_finish(Gid g, std::uint32_t token);
+  void apply_placements(const std::vector<TaskPlacement>& placements,
+                        const std::vector<JobId>& pending);
+  void enqueue_waiting(int node, Gid g);
+  void remove_waiting(int node, Gid g);
+  /// Starts an unready task in the hoarding state (slot occupied, no
+  /// progress) and arms its eviction timeout.
+  void start_hoarding(int node, Gid g);
+  /// A hoarding task's last precedent finished: begin real execution.
+  void activate_hoarding(Gid g);
+  void on_hoard_timeout(Gid g, std::uint32_t token);
+  void on_node_event(std::size_t index);
+  /// Kills every running/hoarding task on a failed node and re-places its
+  /// queued tasks onto live nodes.
+  void fail_node(int node);
+  void recover_node(int node);
+  /// Re-anchors the running tasks of `node` after a rate change: progress
+  /// accrued so far is banked and fresh finish events are scheduled at the
+  /// new effective rate.
+  void rebase_running(int node);
+  /// Moves a waiting/suspended task to the live node with the least
+  /// backlog; stays put when no live node fits.
+  void replace_waiting_task(Gid g);
+  void fill_slots(int node);
+  void fill_all_slots();
+  /// Starts `g` on `node`; `resume_overhead` > 0 when restoring a
+  /// checkpointed task.
+  void start_task(int node, Gid g, SimTime resume_overhead);
+  /// Suspends running task `g`; applies the checkpoint mode.
+  void suspend_task(int node, Gid g);
+  void complete_job(JobId j);
+  bool all_jobs_finished() const { return finished_jobs_ == jobs_.size(); }
+
+  ClusterSpec cluster_;
+  JobSet jobs_;
+  Scheduler& scheduler_;
+  PreemptionPolicy* preempt_;
+  EngineParams params_;
+  SimObserver* observer_ = nullptr;
+
+  // Flat task indexing.
+  std::vector<Gid> job_offset_;       // per job: first gid
+  std::vector<JobId> task_job_;       // per gid
+  std::vector<TaskIndex> task_index_; // per gid
+
+  std::vector<TaskRt> rt_;
+  std::vector<NodeRt> nodes_;
+  std::vector<JobRt> job_rt_;
+  std::vector<std::uint8_t> dispatch_excluded_;  // scratch for fill_slots
+  std::vector<std::uint8_t> launch_blocked_;     // failed input checks
+
+  std::vector<NodeEvent> failure_events_;
+  std::priority_queue<Event, std::vector<Event>, std::greater<>> events_;
+  std::uint64_t event_seq_ = 0;
+  SimTime now_ = 0;
+  SimTime first_arrival_ = kMaxTime;
+  SimTime last_finish_ = 0;
+  std::vector<JobId> pending_jobs_;
+  std::size_t finished_jobs_ = 0;
+  bool ran_ = false;
+
+  RunMetrics metrics_;
+};
+
+}  // namespace dsp

@@ -1,0 +1,83 @@
+#include "sim/failures.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace dsp {
+
+const char* to_string(NodeEvent::Kind k) {
+  switch (k) {
+    case NodeEvent::Kind::kFail: return "fail";
+    case NodeEvent::Kind::kRecover: return "recover";
+    case NodeEvent::Kind::kSlowdown: return "slowdown";
+    case NodeEvent::Kind::kRestoreSpeed: return "restore-speed";
+  }
+  return "?";
+}
+
+void FailurePlan::add_outage(int node, SimTime at, SimTime duration) {
+  assert(node >= 0 && duration > 0);
+  events_.push_back({at, node, NodeEvent::Kind::kFail, 1.0});
+  events_.push_back({at + duration, node, NodeEvent::Kind::kRecover, 1.0});
+  ++outages_;
+}
+
+void FailurePlan::add_slowdown(int node, SimTime at, SimTime duration,
+                               double factor) {
+  assert(node >= 0 && duration > 0 && factor > 0.0 && factor < 1.0);
+  events_.push_back({at, node, NodeEvent::Kind::kSlowdown, factor});
+  events_.push_back({at + duration, node, NodeEvent::Kind::kRestoreSpeed, 1.0});
+  ++slowdowns_;
+}
+
+std::vector<NodeEvent> FailurePlan::sorted_events() const {
+  std::vector<NodeEvent> sorted = events_;
+  std::stable_sort(sorted.begin(), sorted.end(),
+                   [](const NodeEvent& a, const NodeEvent& b) { return a.at < b.at; });
+  return sorted;
+}
+
+FailurePlan FailurePlan::random_outages(const ClusterSpec& cluster,
+                                        SimTime horizon, double mtbf_hours,
+                                        double mttr_minutes,
+                                        std::uint64_t seed) {
+  assert(mtbf_hours > 0 && mttr_minutes > 0);
+  FailurePlan plan;
+  Rng rng(seed);
+  for (std::size_t k = 0; k < cluster.size(); ++k) {
+    SimTime t = 0;
+    for (;;) {
+      t += from_seconds(rng.exponential(1.0 / (mtbf_hours * 3600.0)));
+      if (t >= horizon) break;
+      const SimTime down =
+          std::max<SimTime>(kSecond, from_seconds(rng.exponential(
+                                         1.0 / (mttr_minutes * 60.0))));
+      plan.add_outage(static_cast<int>(k), t, down);
+      t += down;
+    }
+  }
+  return plan;
+}
+
+FailurePlan FailurePlan::random_stragglers(const ClusterSpec& cluster,
+                                           SimTime horizon, SimTime mean_gap,
+                                           SimTime mean_duration, double factor,
+                                           std::uint64_t seed) {
+  assert(mean_gap > 0 && mean_duration > 0);
+  FailurePlan plan;
+  Rng rng(seed ^ 0x5747524147ULL);
+  for (std::size_t k = 0; k < cluster.size(); ++k) {
+    SimTime t = 0;
+    for (;;) {
+      t += from_seconds(rng.exponential(1.0 / to_seconds(mean_gap)));
+      if (t >= horizon) break;
+      const SimTime duration = std::max<SimTime>(
+          kSecond, from_seconds(rng.exponential(1.0 / to_seconds(mean_duration))));
+      plan.add_slowdown(static_cast<int>(k), t, duration, factor);
+      t += duration;
+    }
+  }
+  return plan;
+}
+
+}  // namespace dsp

@@ -1,0 +1,77 @@
+// Node failure and straggler injection (the paper's §VI future work:
+// "handle node failures/crashes or straggler").
+//
+// A FailurePlan is a deterministic list of node events — outages (the node
+// goes down, killing its running tasks, and later recovers) and slowdowns
+// (the node's effective rate drops by a factor for a while, modelling
+// stragglers). Install it on an Engine before run(); the engine then
+//   - marks the node down/up and blocks dispatch while down,
+//   - kills running/hoarding tasks at failure (progress survives when
+//     EngineParams::checkpoints_survive_failure, modelling checkpoints on
+//     shared storage; otherwise the work is lost),
+//   - re-places the failed node's queued tasks onto live nodes,
+//   - rebases running tasks' completion times across rate changes.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/cluster.h"
+#include "util/rng.h"
+#include "util/time.h"
+
+namespace dsp {
+
+/// One scheduled node event.
+struct NodeEvent {
+  enum class Kind : std::uint8_t {
+    kFail,          ///< Node goes down.
+    kRecover,       ///< Node comes back up (empty, full speed).
+    kSlowdown,      ///< Node rate multiplied by `factor` (< 1).
+    kRestoreSpeed,  ///< Node rate back to nominal.
+  };
+  SimTime at = 0;
+  int node = -1;
+  Kind kind = Kind::kFail;
+  double factor = 1.0;  ///< Slowdown factor (kSlowdown only).
+};
+
+const char* to_string(NodeEvent::Kind k);
+
+/// An injection schedule: outages and slowdowns over the run.
+class FailurePlan {
+ public:
+  /// Node `node` is down during [at, at + duration).
+  void add_outage(int node, SimTime at, SimTime duration);
+
+  /// Node `node` runs at `factor` x nominal rate during [at, at+duration).
+  void add_slowdown(int node, SimTime at, SimTime duration, double factor);
+
+  /// Events sorted by time (stable for equal times).
+  std::vector<NodeEvent> sorted_events() const;
+
+  std::size_t outage_count() const { return outages_; }
+  std::size_t slowdown_count() const { return slowdowns_; }
+  bool empty() const { return events_.empty(); }
+
+  /// Random plan: each node independently fails following an exponential
+  /// MTBF (hours) with exponential MTTR (minutes), across [0, horizon).
+  static FailurePlan random_outages(const ClusterSpec& cluster, SimTime horizon,
+                                    double mtbf_hours, double mttr_minutes,
+                                    std::uint64_t seed);
+
+  /// Random stragglers: each node independently degrades to `factor` for
+  /// exponential durations (mean `mean_duration`), with exponential gaps
+  /// (mean `mean_gap`).
+  static FailurePlan random_stragglers(const ClusterSpec& cluster,
+                                       SimTime horizon, SimTime mean_gap,
+                                       SimTime mean_duration, double factor,
+                                       std::uint64_t seed);
+
+ private:
+  std::vector<NodeEvent> events_;
+  std::size_t outages_ = 0;
+  std::size_t slowdowns_ = 0;
+};
+
+}  // namespace dsp

@@ -1,0 +1,68 @@
+// Observation hooks into the simulation engine.
+//
+// An observer sees every state transition the engine performs — task
+// starts, finishes, suspensions, hoarding, job completions, scheduling
+// rounds. The TimelineRecorder (recorder.h) builds Gantt-style execution
+// traces from these hooks, and the invariant checker (invariants.h)
+// validates whole runs in the test suite.
+#pragma once
+
+#include <cstddef>
+
+#include "dag/task.h"
+#include "sim/types.h"
+#include "util/time.h"
+
+namespace dsp {
+
+/// Engine event callbacks. All default to no-ops; override what you need.
+/// Callbacks fire synchronously inside the engine — do not mutate the
+/// engine from them.
+class SimObserver {
+ public:
+  virtual ~SimObserver() = default;
+
+  /// Task `g` began executing on `node`; the first `overhead` of its slot
+  /// time is context-switch/recovery cost, not productive work.
+  virtual void on_task_start(SimTime t, Gid g, int node, SimTime overhead) {
+    (void)t; (void)g; (void)node; (void)overhead;
+  }
+
+  /// Task `g` completed on `node`.
+  virtual void on_task_finish(SimTime t, Gid g, int node) {
+    (void)t; (void)g; (void)node;
+  }
+
+  /// Task `g` was preempted on `node`; `kept_progress` is false when the
+  /// policy's checkpoint mode discards its work (restart-from-scratch).
+  virtual void on_task_suspend(SimTime t, Gid g, int node, bool kept_progress) {
+    (void)t; (void)g; (void)node; (void)kept_progress;
+  }
+
+  /// Task `g` was blindly launched without its inputs and now hoards a
+  /// slot on `node`.
+  virtual void on_hoard_start(SimTime t, Gid g, int node) {
+    (void)t; (void)g; (void)node;
+  }
+
+  /// Hoarding task `g` was evicted by the hoard timeout.
+  virtual void on_hoard_evict(SimTime t, Gid g, int node) {
+    (void)t; (void)g; (void)node;
+  }
+
+  /// Every task of job `j` has finished.
+  virtual void on_job_complete(SimTime t, JobId j) { (void)t; (void)j; }
+
+  /// An offline scheduling round placed `placements` tasks of `jobs` jobs.
+  virtual void on_schedule_round(SimTime t, std::size_t jobs,
+                                 std::size_t placements) {
+    (void)t; (void)jobs; (void)placements;
+  }
+
+  /// Node `node` failed (its tasks were killed) or recovered.
+  virtual void on_node_failure(SimTime t, int node, bool failed) {
+    (void)t; (void)node; (void)failed;
+  }
+};
+
+}  // namespace dsp

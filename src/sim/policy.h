@@ -1,0 +1,85 @@
+// Policy interfaces: offline scheduling and online preemption.
+//
+// The paper's DSP splits cluster control into an offline phase (ILP
+// scheduling every period) and an online phase (priority preemption every
+// epoch). The engine drives both through these interfaces; DSP and every
+// baseline implement one or both.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "dag/task.h"
+#include "sim/types.h"
+#include "util/time.h"
+
+namespace dsp {
+
+class Engine;
+
+/// One placement decision: task -> node, with the planned start time that
+/// orders the node's waiting queue (DSP's ILP emits t^s_ij; heuristic
+/// schedulers emit a rank-preserving surrogate).
+struct TaskPlacement {
+  Gid task = kInvalidGid;
+  int node = -1;
+  SimTime planned_start = 0;
+};
+
+/// Offline scheduler: invoked at each scheduling period for the jobs that
+/// arrived since the previous period (paper §III: "periodically executed
+/// offline after each unit of time period").
+class Scheduler {
+ public:
+  virtual ~Scheduler() = default;
+
+  /// Display name used in bench tables.
+  virtual const char* name() const = 0;
+
+  /// Places every task of `jobs` onto cluster nodes. The engine inserts
+  /// each task into its node's waiting queue ordered by planned_start.
+  virtual std::vector<TaskPlacement> schedule(const std::vector<JobId>& jobs,
+                                              Engine& engine) = 0;
+
+  /// Dispatch rule: when node `node` has a free slot, returns the next
+  /// waiting task to launch, or kInvalidGid when none qualifies.
+  /// `excluded[gid] != 0` marks tasks already rejected in this fill round
+  /// (not ready / does not fit); implementations must skip them.
+  ///
+  /// The default walks the waiting queue in planned-start order and picks
+  /// the first ready task whose demand fits — the behaviour of a
+  /// dependency-respecting launch check. Packing schedulers (Tetris)
+  /// override this with their alignment score; dependency-blind variants
+  /// may return a non-ready task, which the engine records as a *disorder*.
+  virtual Gid select_next(int node, Engine& engine,
+                          const std::vector<std::uint8_t>& excluded);
+
+  /// Dependency-blind executors launch a selected task even when its
+  /// inputs do not exist yet; the task then *hoards* its slot without
+  /// progressing until the precedents finish (or the engine's hoard
+  /// timeout evicts it). Return true to model that behaviour — the engine
+  /// then starts unready selections in the hoarding state instead of
+  /// refusing them. Either way the selection counts as a disorder.
+  virtual bool hoards_slots() const { return false; }
+};
+
+/// Online preemption policy: invoked at each epoch tick.
+class PreemptionPolicy {
+ public:
+  virtual ~PreemptionPolicy() = default;
+
+  /// Display name used in bench tables.
+  virtual const char* name() const = 0;
+
+  /// Whether preempted tasks keep their progress (checkpoint-restart, as
+  /// DSP/Amoeba/Natjam do) or restart from scratch (SRPT).
+  virtual CheckpointMode checkpoint_mode() const {
+    return CheckpointMode::kCheckpoint;
+  }
+
+  /// Examines every node's waiting/running sets via the engine's read API
+  /// and issues Engine::try_preempt calls.
+  virtual void on_epoch(Engine& engine) = 0;
+};
+
+}  // namespace dsp

@@ -1,0 +1,179 @@
+#include "sim/recorder.h"
+
+#include <algorithm>
+#include <cassert>
+#include <ostream>
+
+namespace dsp {
+
+const char* to_string(IntervalKind k) {
+  switch (k) {
+    case IntervalKind::kOverhead: return "overhead";
+    case IntervalKind::kRun: return "run";
+    case IntervalKind::kHoard: return "hoard";
+  }
+  return "?";
+}
+
+TimelineRecorder::Open& TimelineRecorder::open_slot(Gid g) {
+  if (open_.size() <= g) open_.resize(static_cast<std::size_t>(g) + 1);
+  return open_[g];
+}
+
+void TimelineRecorder::close(Gid g, SimTime t, Interval::End outcome) {
+  Open& o = open_slot(g);
+  if (!o.active) return;
+  o.active = false;
+  if (o.kind == IntervalKind::kHoard) {
+    intervals_.push_back({g, o.node, IntervalKind::kHoard, o.begin, t, outcome});
+    return;
+  }
+  // Split the occupation into its overhead prefix and productive suffix.
+  const SimTime overhead_end = std::min(t, o.begin + o.overhead);
+  if (overhead_end > o.begin)
+    intervals_.push_back(
+        {g, o.node, IntervalKind::kOverhead, o.begin, overhead_end, outcome});
+  if (t > overhead_end)
+    intervals_.push_back(
+        {g, o.node, IntervalKind::kRun, overhead_end, t, outcome});
+}
+
+void TimelineRecorder::on_task_start(SimTime t, Gid g, int node,
+                                     SimTime overhead) {
+  Open& o = open_slot(g);
+  // A hoarding task that activates transitions hoard -> run; close the
+  // hoard interval first.
+  if (o.active) close(g, t, Interval::End::kFinished);
+  o = {node, IntervalKind::kRun, t, overhead, true};
+}
+
+void TimelineRecorder::on_task_finish(SimTime t, Gid g, int node) {
+  (void)node;
+  close(g, t, Interval::End::kFinished);
+  finish_times_.emplace_back(t, g);
+}
+
+void TimelineRecorder::on_task_suspend(SimTime t, Gid g, int node,
+                                       bool kept_progress) {
+  (void)node;
+  (void)kept_progress;
+  close(g, t, Interval::End::kPreempted);
+}
+
+void TimelineRecorder::on_hoard_start(SimTime t, Gid g, int node) {
+  Open& o = open_slot(g);
+  assert(!o.active);
+  o = {node, IntervalKind::kHoard, t, 0, true};
+}
+
+void TimelineRecorder::on_hoard_evict(SimTime t, Gid g, int node) {
+  (void)node;
+  close(g, t, Interval::End::kEvicted);
+}
+
+void TimelineRecorder::on_job_complete(SimTime t, JobId j) {
+  job_completions_.emplace_back(t, j);
+}
+
+void TimelineRecorder::on_schedule_round(SimTime, std::size_t, std::size_t) {
+  ++schedule_rounds_;
+}
+
+std::vector<Interval> TimelineRecorder::intervals_for_task(Gid g) const {
+  std::vector<Interval> result;
+  for (const auto& iv : intervals_)
+    if (iv.task == g) result.push_back(iv);
+  std::sort(result.begin(), result.end(),
+            [](const Interval& a, const Interval& b) { return a.begin < b.begin; });
+  return result;
+}
+
+std::vector<Interval> TimelineRecorder::intervals_on_node(int node) const {
+  std::vector<Interval> result;
+  for (const auto& iv : intervals_)
+    if (iv.node == node) result.push_back(iv);
+  std::sort(result.begin(), result.end(),
+            [](const Interval& a, const Interval& b) { return a.begin < b.begin; });
+  return result;
+}
+
+SimTime TimelineRecorder::finish_time(Gid g) const {
+  for (const auto& [t, task] : finish_times_)
+    if (task == g) return t;
+  return kNoTime;
+}
+
+SimTime TimelineRecorder::first_run_start(Gid g) const {
+  SimTime best = kNoTime;
+  for (const auto& iv : intervals_) {
+    if (iv.task != g || iv.kind == IntervalKind::kHoard) continue;
+    if (best == kNoTime || iv.begin < best) best = iv.begin;
+  }
+  return best;
+}
+
+double TimelineRecorder::busy_seconds_on_node(int node) const {
+  double total = 0.0;
+  for (const auto& iv : intervals_)
+    if (iv.node == node && iv.kind != IntervalKind::kHoard)
+      total += to_seconds(iv.duration());
+  return total;
+}
+
+std::string TimelineRecorder::render_gantt(std::size_t node_count,
+                                           std::size_t width) const {
+  SimTime t_min = kMaxTime, t_max = 0;
+  for (const auto& iv : intervals_) {
+    t_min = std::min(t_min, iv.begin);
+    t_max = std::max(t_max, iv.end);
+  }
+  if (intervals_.empty() || t_max <= t_min) return "(empty timeline)\n";
+
+  const double span = static_cast<double>(t_max - t_min);
+  std::string out;
+  char label[32];
+  for (std::size_t k = 0; k < node_count; ++k) {
+    std::string row(width, '.');
+    for (const auto& iv : intervals_) {
+      if (iv.node != static_cast<int>(k)) continue;
+      const char mark = iv.kind == IntervalKind::kRun      ? '#'
+                        : iv.kind == IntervalKind::kOverhead ? '%'
+                                                             : '~';
+      auto col = [&](SimTime t) {
+        return std::min(width - 1,
+                        static_cast<std::size_t>(
+                            static_cast<double>(t - t_min) / span *
+                            static_cast<double>(width)));
+      };
+      for (std::size_t c = col(iv.begin); c <= col(iv.end - 1); ++c) {
+        // Running work wins over overhead, overhead over hoarding, so the
+        // most informative mark survives bucket collisions.
+        if (row[c] == '.' || (row[c] == '~' && mark != '~') ||
+            (row[c] == '%' && mark == '#'))
+          row[c] = mark;
+      }
+    }
+    std::snprintf(label, sizeof label, "node %2zu |", k);
+    out += label;
+    out += row;
+    out += "|\n";
+  }
+  std::snprintf(label, sizeof label, "%8s", "");
+  out += label;
+  out += format_time(t_min) + " .. " + format_time(t_max) + "\n";
+  return out;
+}
+
+void TimelineRecorder::write_csv(std::ostream& out) const {
+  out << "task,node,kind,begin_us,end_us,outcome\n";
+  for (const auto& iv : intervals_) {
+    const char* outcome = iv.outcome == Interval::End::kFinished ? "finished"
+                          : iv.outcome == Interval::End::kPreempted
+                              ? "preempted"
+                              : "evicted";
+    out << iv.task << ',' << iv.node << ',' << to_string(iv.kind) << ','
+        << iv.begin << ',' << iv.end << ',' << outcome << '\n';
+  }
+}
+
+}  // namespace dsp

@@ -1,0 +1,114 @@
+// Timeline recording: builds a Gantt-style execution trace from engine
+// observer hooks.
+//
+// Every slot occupation becomes an interval {task, node, kind, begin, end}:
+// productive execution, dispatch overhead (context switch / checkpoint
+// recovery), or slot hoarding. The recorder powers the run-invariant
+// checker (invariants.h), per-node utilization reports, and CSV export for
+// external plotting.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <vector>
+
+#include "sim/observer.h"
+#include "sim/types.h"
+#include "util/time.h"
+
+namespace dsp {
+
+/// What a recorded slot interval represents.
+enum class IntervalKind : std::uint8_t {
+  kOverhead,  ///< Context-switch / checkpoint-recovery time.
+  kRun,       ///< Productive execution.
+  kHoard,     ///< Slot held by a task whose inputs do not exist yet.
+};
+
+const char* to_string(IntervalKind k);
+
+/// One slot occupation.
+struct Interval {
+  Gid task = kInvalidGid;
+  int node = -1;
+  IntervalKind kind = IntervalKind::kRun;
+  SimTime begin = 0;
+  SimTime end = 0;
+  /// How the occupation ended.
+  enum class End : std::uint8_t { kFinished, kPreempted, kEvicted } outcome =
+      End::kFinished;
+
+  SimTime duration() const { return end - begin; }
+};
+
+/// Records the full execution timeline of one simulation run.
+///
+/// Usage:
+///   TimelineRecorder recorder;
+///   engine.set_observer(&recorder);
+///   engine.run();
+///   auto problems = check_run_invariants(recorder, ...);
+class TimelineRecorder : public SimObserver {
+ public:
+  void on_task_start(SimTime t, Gid g, int node, SimTime overhead) override;
+  void on_task_finish(SimTime t, Gid g, int node) override;
+  void on_task_suspend(SimTime t, Gid g, int node, bool kept_progress) override;
+  void on_hoard_start(SimTime t, Gid g, int node) override;
+  void on_hoard_evict(SimTime t, Gid g, int node) override;
+  void on_job_complete(SimTime t, JobId j) override;
+  void on_schedule_round(SimTime t, std::size_t jobs,
+                         std::size_t placements) override;
+
+  /// All closed intervals, in completion order.
+  const std::vector<Interval>& intervals() const { return intervals_; }
+
+  /// Intervals of one task, in time order.
+  std::vector<Interval> intervals_for_task(Gid g) const;
+
+  /// Intervals on one node, in time order.
+  std::vector<Interval> intervals_on_node(int node) const;
+
+  /// Completion time of task `g`, or kNoTime if it never finished.
+  SimTime finish_time(Gid g) const;
+
+  /// First productive start of task `g`, or kNoTime.
+  SimTime first_run_start(Gid g) const;
+
+  /// Job completion times recorded via on_job_complete.
+  const std::vector<std::pair<SimTime, JobId>>& job_completions() const {
+    return job_completions_;
+  }
+
+  /// Number of scheduling rounds observed.
+  std::size_t schedule_rounds() const { return schedule_rounds_; }
+
+  /// Total productive seconds on a node.
+  double busy_seconds_on_node(int node) const;
+
+  /// Writes the timeline as CSV: task,node,kind,begin_us,end_us,outcome.
+  void write_csv(std::ostream& out) const;
+
+  /// Renders an ASCII Gantt chart: one row per node, time bucketed into
+  /// `width` columns. '#' = running, '%' = overhead, '~' = hoarding,
+  /// '.' = idle. Useful in examples and for eyeballing schedules.
+  std::string render_gantt(std::size_t node_count, std::size_t width = 72) const;
+
+ private:
+  struct Open {
+    int node = -1;
+    IntervalKind kind = IntervalKind::kRun;
+    SimTime begin = 0;
+    SimTime overhead = 0;
+    bool active = false;
+  };
+  void close(Gid g, SimTime t, Interval::End outcome);
+  Open& open_slot(Gid g);
+
+  std::vector<Open> open_;  // indexed by gid, grown on demand
+  std::vector<Interval> intervals_;
+  std::vector<std::pair<SimTime, Gid>> finish_times_;
+  std::vector<std::pair<SimTime, JobId>> job_completions_;
+  std::size_t schedule_rounds_ = 0;
+};
+
+}  // namespace dsp

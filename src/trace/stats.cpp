@@ -1,0 +1,73 @@
+#include "trace/stats.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <vector>
+
+#include "util/stats.h"
+
+namespace dsp {
+
+WorkloadStats analyze_workload(const JobSet& jobs) {
+  WorkloadStats out;
+  out.jobs = jobs.size();
+  if (jobs.empty()) return out;
+
+  std::vector<double> sizes;
+  RunningStat size_stat;
+  RunningStat depth_stat;
+  std::size_t dependent = 0;
+  out.first_arrival = jobs.front().arrival();
+  out.last_arrival = jobs.front().arrival();
+
+  for (const auto& job : jobs) {
+    out.tasks += job.task_count();
+    out.dependency_edges += job.graph().edge_count();
+    out.total_work_mi += job.total_work_mi();
+    out.first_arrival = std::min(out.first_arrival, job.arrival());
+    out.last_arrival = std::max(out.last_arrival, job.arrival());
+    ++out.jobs_by_class[static_cast<std::size_t>(job.size_class())];
+    if (job.tier() == JobTier::kProduction) ++out.production_jobs;
+    if (job.finalized()) {
+      depth_stat.add(static_cast<double>(job.graph().depth()));
+      out.max_depth = std::max(out.max_depth, job.graph().depth());
+    }
+    for (TaskIndex t = 0; t < job.task_count(); ++t) {
+      const double size = job.task(t).size_mi;
+      sizes.push_back(size);
+      size_stat.add(size);
+      if (job.finalized()) {
+        out.max_fanout = std::max(out.max_fanout, job.graph().children(t).size());
+        if (!job.graph().parents(t).empty()) ++dependent;
+      }
+    }
+  }
+  out.size_min = size_stat.min();
+  out.size_max = size_stat.max();
+  out.size_mean = size_stat.mean();
+  out.size_median = median_of(sizes);
+  out.mean_depth = depth_stat.mean();
+  out.dependent_fraction =
+      out.tasks ? static_cast<double>(dependent) / static_cast<double>(out.tasks)
+                : 0.0;
+  return out;
+}
+
+std::string WorkloadStats::render() const {
+  char buf[1024];
+  std::snprintf(
+      buf, sizeof buf,
+      "jobs: %zu (small %zu / medium %zu / large %zu; %zu production)\n"
+      "tasks: %zu, dependency edges: %zu (%.0f%% of tasks dependent)\n"
+      "task size MI: min %.3g / median %.3g / mean %.3g / max %.3g\n"
+      "total work: %.3g MI\n"
+      "DAG depth: mean %.1f, max %d; max fan-out %zu\n"
+      "arrivals: %s span\n",
+      jobs, jobs_by_class[0], jobs_by_class[1], jobs_by_class[2],
+      production_jobs, tasks, dependency_edges, dependent_fraction * 100.0,
+      size_min, size_median, size_mean, size_max, total_work_mi, mean_depth,
+      max_depth, max_fanout, format_time(last_arrival - first_arrival).c_str());
+  return buf;
+}
+
+}  // namespace dsp

@@ -1,0 +1,49 @@
+// Workload statistics: summarize a JobSet the way the paper characterizes
+// its trace (§I/§V): task counts, size distribution, DAG depth and
+// fan-out, per-class composition, total work.
+//
+// Used by trace_replay's --stats mode and by tests validating that the
+// synthetic generator matches the paper's workload shape.
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <string>
+
+#include "dag/job.h"
+
+namespace dsp {
+
+/// Aggregate shape statistics of a workload.
+struct WorkloadStats {
+  std::size_t jobs = 0;
+  std::size_t tasks = 0;
+  std::size_t dependency_edges = 0;
+  double total_work_mi = 0.0;
+
+  // Task size distribution (MI).
+  double size_min = 0.0, size_median = 0.0, size_mean = 0.0, size_max = 0.0;
+
+  // DAG shape.
+  int max_depth = 0;
+  double mean_depth = 0.0;
+  std::size_t max_fanout = 0;
+  /// Fraction of tasks with at least one parent (dependency-bound work).
+  double dependent_fraction = 0.0;
+
+  // Composition.
+  std::array<std::size_t, 3> jobs_by_class{};  // small / medium / large
+  std::size_t production_jobs = 0;
+
+  // Arrival window.
+  SimTime first_arrival = 0;
+  SimTime last_arrival = 0;
+
+  /// Renders a compact multi-line report.
+  std::string render() const;
+};
+
+/// Computes statistics over a (finalized) workload.
+WorkloadStats analyze_workload(const JobSet& jobs);
+
+}  // namespace dsp

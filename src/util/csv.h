@@ -1,0 +1,49 @@
+// Minimal CSV reading/writing for trace files.
+//
+// Supports the subset of RFC 4180 the trace format needs: comma separation,
+// double-quote quoting with "" escapes, and both \n and \r\n line endings.
+#pragma once
+
+#include <istream>
+#include <ostream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace dsp {
+
+/// Parses one CSV line into fields (handles quoted fields).
+std::vector<std::string> parse_csv_line(std::string_view line);
+
+/// Escapes a field for CSV output (quotes when it contains , " or newline).
+std::string csv_escape(std::string_view field);
+
+/// Streaming CSV reader over an istream.
+class CsvReader {
+ public:
+  explicit CsvReader(std::istream& in) : in_(in) {}
+
+  /// Reads the next record; returns false at EOF. Skips blank lines.
+  bool next(std::vector<std::string>& fields);
+
+  /// 1-based line number of the last record read (for error messages).
+  std::size_t line_number() const { return line_; }
+
+ private:
+  std::istream& in_;
+  std::size_t line_ = 0;
+};
+
+/// Streaming CSV writer.
+class CsvWriter {
+ public:
+  explicit CsvWriter(std::ostream& out) : out_(out) {}
+
+  /// Writes one record.
+  void write(const std::vector<std::string>& fields);
+
+ private:
+  std::ostream& out_;
+};
+
+}  // namespace dsp

@@ -1,0 +1,28 @@
+#include "util/env.h"
+
+#include <cstdlib>
+
+namespace dsp {
+
+double env_double(const char* name, double fallback) {
+  const char* v = std::getenv(name);
+  if (!v || !*v) return fallback;
+  char* end = nullptr;
+  const double parsed = std::strtod(v, &end);
+  return (end && *end == '\0') ? parsed : fallback;
+}
+
+std::int64_t env_int(const char* name, std::int64_t fallback) {
+  const char* v = std::getenv(name);
+  if (!v || !*v) return fallback;
+  char* end = nullptr;
+  const long long parsed = std::strtoll(v, &end, 10);
+  return (end && *end == '\0') ? parsed : fallback;
+}
+
+std::string env_string(const char* name, const std::string& fallback) {
+  const char* v = std::getenv(name);
+  return (v && *v) ? std::string{v} : fallback;
+}
+
+}  // namespace dsp

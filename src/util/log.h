@@ -1,0 +1,40 @@
+// Leveled logging with zero cost when disabled.
+//
+// The simulator is deterministic, so debug-level event traces are the main
+// debugging tool; keep them cheap to turn on (DSP_LOG=debug env var) and
+// free when off.
+#pragma once
+
+#include <cstdio>
+#include <string>
+
+namespace dsp {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+namespace log_detail {
+/// Current threshold; initialized from the DSP_LOG environment variable
+/// (debug|info|warn|error|off), defaulting to warn.
+LogLevel threshold();
+void set_threshold(LogLevel level);
+void emit(LogLevel level, const char* fmt, ...) __attribute__((format(printf, 2, 3)));
+}  // namespace log_detail
+
+/// True when messages at `level` would be emitted.
+inline bool log_enabled(LogLevel level) { return level >= log_detail::threshold(); }
+
+/// Overrides the threshold (tests use this to silence warnings).
+inline void set_log_level(LogLevel level) { log_detail::set_threshold(level); }
+
+#define DSP_LOG_AT(level, ...)                                   \
+  do {                                                           \
+    if (::dsp::log_enabled(level))                               \
+      ::dsp::log_detail::emit(level, __VA_ARGS__);               \
+  } while (0)
+
+#define DSP_DEBUG(...) DSP_LOG_AT(::dsp::LogLevel::kDebug, __VA_ARGS__)
+#define DSP_INFO(...) DSP_LOG_AT(::dsp::LogLevel::kInfo, __VA_ARGS__)
+#define DSP_WARN(...) DSP_LOG_AT(::dsp::LogLevel::kWarn, __VA_ARGS__)
+#define DSP_ERROR(...) DSP_LOG_AT(::dsp::LogLevel::kError, __VA_ARGS__)
+
+}  // namespace dsp

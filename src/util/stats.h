@@ -1,0 +1,86 @@
+// Lightweight descriptive statistics used by the metrics and bench layers.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace dsp {
+
+/// Streaming mean/variance accumulator (Welford's algorithm).
+///
+/// Numerically stable for long streams; O(1) space.
+class RunningStat {
+ public:
+  /// Adds one observation.
+  void add(double x);
+
+  /// Number of observations so far.
+  std::size_t count() const { return n_; }
+
+  /// Sample mean; 0 when empty.
+  double mean() const { return n_ ? mean_ : 0.0; }
+
+  /// Unbiased sample variance; 0 when fewer than two observations.
+  double variance() const;
+
+  /// Sample standard deviation.
+  double stddev() const;
+
+  /// Smallest observation; +inf when empty.
+  double min() const { return min_; }
+
+  /// Largest observation; -inf when empty.
+  double max() const { return max_; }
+
+  /// Sum of all observations.
+  double sum() const { return sum_; }
+
+  /// Merges another accumulator into this one (parallel reduction).
+  void merge(const RunningStat& other);
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double sum_ = 0.0;
+  double min_ = 1e300;
+  double max_ = -1e300;
+};
+
+/// Returns the p-quantile (p in [0,1]) with linear interpolation.
+/// Copies and sorts; intended for post-run reporting, not hot paths.
+double percentile(std::span<const double> values, double p);
+
+/// Arithmetic mean of a span; 0 when empty.
+double mean_of(std::span<const double> values);
+
+/// Median (50th percentile).
+double median_of(std::span<const double> values);
+
+/// Simple histogram over [lo, hi) with uniform bins, for bench reports.
+class Histogram {
+ public:
+  Histogram(double lo, double hi, std::size_t bins);
+
+  /// Adds an observation; out-of-range values clamp into the edge bins.
+  void add(double x);
+
+  std::size_t bin_count() const { return counts_.size(); }
+  std::size_t count_in_bin(std::size_t i) const { return counts_.at(i); }
+  std::size_t total() const { return total_; }
+
+  /// Lower edge of bin i.
+  double bin_lo(std::size_t i) const;
+
+  /// Renders an ASCII sketch, one line per bin.
+  std::string render(std::size_t width = 40) const;
+
+ private:
+  double lo_, hi_;
+  std::vector<std::size_t> counts_;
+  std::size_t total_ = 0;
+};
+
+}  // namespace dsp

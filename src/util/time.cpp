@@ -1,0 +1,30 @@
+#include "util/time.h"
+
+#include <cstdio>
+
+namespace dsp {
+
+std::string format_time(SimTime t) {
+  if (t == kNoTime) return "--";
+  const bool neg = t < 0;
+  if (neg) t = -t;
+  char buf[64];
+  if (t >= kHour) {
+    const auto h = t / kHour;
+    const auto m = (t % kHour) / kMinute;
+    std::snprintf(buf, sizeof buf, "%s%lldh%02lldm", neg ? "-" : "",
+                  static_cast<long long>(h), static_cast<long long>(m));
+  } else if (t >= kMinute) {
+    const auto m = t / kMinute;
+    const auto s = (t % kMinute) / kSecond;
+    std::snprintf(buf, sizeof buf, "%s%lldm%02llds", neg ? "-" : "",
+                  static_cast<long long>(m), static_cast<long long>(s));
+  } else if (t >= kSecond) {
+    std::snprintf(buf, sizeof buf, "%s%.1fs", neg ? "-" : "", to_seconds(t));
+  } else {
+    std::snprintf(buf, sizeof buf, "%s%.1fms", neg ? "-" : "", to_millis(t));
+  }
+  return buf;
+}
+
+}  // namespace dsp

@@ -1,0 +1,52 @@
+// Simulation time: fixed-point microseconds.
+//
+// The simulator keeps time as a signed 64-bit count of microseconds so that
+// event ordering is exact and runs are bit-reproducible across platforms.
+// Doubles appear only at the boundary (task sizes in MI divided by node MIPS
+// rates); conversions round to the nearest microsecond.
+#pragma once
+
+#include <cstdint>
+#include <cmath>
+#include <limits>
+#include <string>
+
+namespace dsp {
+
+/// Simulation timestamp / duration in microseconds.
+using SimTime = std::int64_t;
+
+/// Sentinel for "no time" / unset timestamps.
+inline constexpr SimTime kNoTime = std::numeric_limits<SimTime>::min();
+
+/// Largest representable time; used as an event-horizon sentinel.
+inline constexpr SimTime kMaxTime = std::numeric_limits<SimTime>::max();
+
+inline constexpr SimTime kMicrosecond = 1;
+inline constexpr SimTime kMillisecond = 1000;
+inline constexpr SimTime kSecond = 1000 * kMillisecond;
+inline constexpr SimTime kMinute = 60 * kSecond;
+inline constexpr SimTime kHour = 60 * kMinute;
+
+/// Converts seconds (double) to SimTime, rounding to nearest microsecond.
+constexpr SimTime from_seconds(double s) {
+  return static_cast<SimTime>(s * static_cast<double>(kSecond) + (s >= 0 ? 0.5 : -0.5));
+}
+
+/// Converts a SimTime to fractional seconds.
+constexpr double to_seconds(SimTime t) {
+  return static_cast<double>(t) / static_cast<double>(kSecond);
+}
+
+/// Converts a SimTime to fractional milliseconds.
+constexpr double to_millis(SimTime t) {
+  return static_cast<double>(t) / static_cast<double>(kMillisecond);
+}
+
+/// Converts minutes (double) to SimTime.
+constexpr SimTime from_minutes(double m) { return from_seconds(m * 60.0); }
+
+/// Renders a SimTime as a compact human-readable string ("2h03m", "41.2s").
+std::string format_time(SimTime t);
+
+}  // namespace dsp

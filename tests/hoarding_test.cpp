@@ -1,0 +1,179 @@
+// Tests for the slot-hoarding model: dependency-blind executors launch
+// tasks whose inputs are missing; those tasks hold slots without progress
+// until activated by their precedents or evicted by the hoard timeout.
+#include <gtest/gtest.h>
+
+#include "baselines/tetris.h"
+#include "sim/engine.h"
+#include "test_util.h"
+
+namespace dsp {
+namespace {
+
+using testing::make_chain_job;
+using testing::make_independent_job;
+
+ClusterSpec one_node(int slots) {
+  return ClusterSpec::uniform(1, 1800.0, 2.0, slots);
+}
+
+EngineParams fast_params() {
+  EngineParams p;
+  p.period = 1 * kSecond;
+  p.epoch = 500 * kMillisecond;
+  p.hoard_timeout = 5 * kSecond;
+  return p;
+}
+
+/// A scheduler that dispatches strictly in queue order, launching unready
+/// tasks (slot hoarding), like a dependency-blind executor would.
+class HoardingScheduler : public testing::RoundRobinScheduler {
+ public:
+  const char* name() const override { return "Hoarder"; }
+  bool hoards_slots() const override { return true; }
+  Gid select_next(int node, Engine& engine,
+                  const std::vector<std::uint8_t>& excluded) override {
+    for (Gid g : engine.waiting(node)) {
+      if (excluded[g]) continue;
+      if (engine.launch_blocked(g)) continue;
+      if (!engine.available(node).fits(engine.task_info(g).demand)) continue;
+      return g;
+    }
+    return kInvalidGid;
+  }
+  std::vector<TaskPlacement> schedule(const std::vector<JobId>& pending,
+                                      Engine& engine) override {
+    // Queue children *before* parents to force hoarding.
+    std::vector<TaskPlacement> out;
+    SimTime seq = 0;
+    for (JobId j : pending) {
+      const auto topo = engine.job(j).graph().topo_order();
+      for (auto it = topo.rbegin(); it != topo.rend(); ++it)
+        out.push_back(TaskPlacement{engine.gid(j, *it), 0, engine.now() + seq++});
+    }
+    return out;
+  }
+};
+
+TEST(HoardingTest, HoardedTaskActivatesWhenParentFinishes) {
+  // 2-task chain, 2 slots: the child is dispatched first and hoards one
+  // slot; the parent runs in the other; when the parent finishes the child
+  // activates in place. Makespan = 2 s (no eviction needed).
+  JobSet jobs;
+  jobs.push_back(make_chain_job(0, 2, 1000.0));
+  HoardingScheduler sched;
+  Engine engine(one_node(2), std::move(jobs), sched, nullptr, fast_params());
+  const RunMetrics m = engine.run();
+  EXPECT_EQ(m.tasks_finished, 2u);
+  EXPECT_EQ(m.disorders, 1u);  // the child's blind launch
+  EXPECT_EQ(m.makespan, 2 * kSecond);
+}
+
+TEST(HoardingTest, HoardingWastesSlotTime) {
+  // 2-task chain + 2 independent tasks, 2 slots, child queued first.
+  // The hoarding child blocks a slot that an independent task could have
+  // used; a dependency-aware run packs tighter.
+  auto build = [] {
+    JobSet jobs;
+    Job job(0, 4);
+    for (TaskIndex t = 0; t < 4; ++t) {
+      job.task(t).size_mi = 2000.0;
+      job.task(t).demand = Resources{1.0, 0.4, 0.02, 0.02};
+    }
+    job.add_dependency(0, 1);
+    EXPECT_TRUE(job.finalize(1000.0));
+    jobs.push_back(std::move(job));
+    return jobs;
+  };
+  HoardingScheduler hoarder;
+  Engine blind(one_node(2), build(), hoarder, nullptr, fast_params());
+  const RunMetrics blind_m = blind.run();
+
+  testing::RoundRobinScheduler aware;
+  Engine clean(one_node(2), build(), aware, nullptr, fast_params());
+  const RunMetrics clean_m = clean.run();
+
+  EXPECT_EQ(blind_m.tasks_finished, 4u);
+  EXPECT_GT(blind_m.makespan, clean_m.makespan);
+  EXPECT_LT(blind_m.slot_utilization, clean_m.slot_utilization + 1e-9);
+}
+
+TEST(HoardingTest, TimeoutEvictsHoarder) {
+  // 1 slot: the child hoards the only slot, so its parent can never run;
+  // only the hoard timeout (5 s) breaks the deadlock.
+  JobSet jobs;
+  jobs.push_back(make_chain_job(0, 2, 1000.0));
+  HoardingScheduler sched;
+  Engine engine(one_node(1), std::move(jobs), sched, nullptr, fast_params());
+  const RunMetrics m = engine.run();
+  EXPECT_EQ(m.tasks_finished, 2u);
+  // Timeline: child hoards [0, 5 s), evicted; parent runs [5, 6); child
+  // (now ready) runs [6, 7).
+  EXPECT_EQ(m.makespan, 7 * kSecond);
+  EXPECT_GE(m.disorders, 1u);
+}
+
+TEST(HoardingTest, EvictedHoarderIsBlockedFromRelaunch) {
+  // After eviction the task must not immediately re-hoard the freed slot
+  // (launch_blocked); the parent gets the slot instead. Verified by the
+  // timeline in TimeoutEvictsHoarder; here check the flag directly.
+  JobSet jobs;
+  jobs.push_back(make_chain_job(0, 2, 20000.0));
+  HoardingScheduler sched;
+  class Probe : public PreemptionPolicy {
+   public:
+    const char* name() const override { return "Probe"; }
+    void on_epoch(Engine& engine) override {
+      // After the timeout fires (5 s), the child should be waiting and
+      // blocked while its parent occupies the slot.
+      if (engine.now() > 6 * kSecond && engine.now() < 7 * kSecond) {
+        const Gid child = engine.gid(0, 1);
+        if (engine.state(child) == TaskState::kWaiting) {
+          observed_blocked = observed_blocked || engine.launch_blocked(child);
+          if (!engine.running(0).empty())
+            parent_running =
+                parent_running ||
+                engine.running(0).front() == engine.gid(0, 0);
+        }
+      }
+    }
+    bool observed_blocked = false;
+    bool parent_running = false;
+  } probe;
+  Engine engine(one_node(1), std::move(jobs), sched, &probe, fast_params());
+  engine.run();
+  EXPECT_TRUE(probe.observed_blocked);
+  EXPECT_TRUE(probe.parent_running);
+}
+
+TEST(HoardingTest, TetrisBlindVariantHoards) {
+  EXPECT_TRUE(
+      TetrisScheduler(TetrisScheduler::Dependency::kNone).hoards_slots());
+  EXPECT_FALSE(
+      TetrisScheduler(TetrisScheduler::Dependency::kSimple).hoards_slots());
+}
+
+TEST(HoardingTest, HoardingStateVisibleThroughReadApi) {
+  JobSet jobs;
+  jobs.push_back(make_chain_job(0, 2, 20000.0));
+  HoardingScheduler sched;
+  class Probe : public PreemptionPolicy {
+   public:
+    const char* name() const override { return "Probe"; }
+    void on_epoch(Engine& engine) override {
+      if (engine.now() < 3 * kSecond) {
+        const Gid child = engine.gid(0, 1);
+        saw_hoarding = saw_hoarding ||
+                       engine.state(child) == TaskState::kHoarding;
+      }
+    }
+    bool saw_hoarding = false;
+  } probe;
+  Engine engine(one_node(1), std::move(jobs), sched, &probe, fast_params());
+  engine.run();
+  EXPECT_TRUE(probe.saw_hoarding);
+  EXPECT_STREQ(to_string(TaskState::kHoarding), "hoarding");
+}
+
+}  // namespace
+}  // namespace dsp

@@ -1,0 +1,117 @@
+// Tests for RunMetrics job records, the per-class breakdown table, and
+// the umbrella header.
+#include <gtest/gtest.h>
+
+#include "dsp.h"  // the umbrella header must compile standalone
+#include "test_util.h"
+#include "trace/workload.h"
+
+namespace dsp {
+namespace {
+
+using testing::make_independent_job;
+using testing::RoundRobinScheduler;
+
+EngineParams fast_params() {
+  EngineParams p;
+  p.period = 1 * kSecond;
+  p.epoch = 500 * kMillisecond;
+  return p;
+}
+
+TEST(JobRecordTest, RecordsEveryFinishedJob) {
+  JobSet jobs;
+  Job a = make_independent_job(0, 2, 1000.0, 0, 10 * kSecond);
+  a.set_size_class(JobSize::kSmall);
+  // Tasks take exactly 1 s; a 0.5 s deadline is guaranteed to be missed.
+  Job b = make_independent_job(1, 2, 1000.0, 0, 500 * kMillisecond);
+  b.set_size_class(JobSize::kLarge);
+  b.set_tier(JobTier::kResearch);
+  jobs.push_back(std::move(a));
+  jobs.push_back(std::move(b));
+  RoundRobinScheduler sched;
+  Engine engine(ClusterSpec::uniform(2, 1800.0, 2.0, 2), std::move(jobs), sched,
+                nullptr, fast_params());
+  const RunMetrics m = engine.run();
+
+  ASSERT_EQ(m.job_records.size(), 2u);
+  for (const auto& r : m.job_records) {
+    EXPECT_GT(r.finish, r.arrival);
+    EXPECT_EQ(r.completion_time(), r.finish - r.arrival);
+    if (r.id == 0) {
+      EXPECT_EQ(r.size_class, JobSize::kSmall);
+      EXPECT_TRUE(r.met_deadline);
+    } else {
+      EXPECT_EQ(r.size_class, JobSize::kLarge);
+      EXPECT_EQ(r.tier, JobTier::kResearch);
+      EXPECT_FALSE(r.met_deadline);
+    }
+  }
+}
+
+TEST(JobRecordTest, AvgCompletionFilterByClass) {
+  RunMetrics m;
+  m.job_records.push_back(
+      {0, JobSize::kSmall, JobTier::kProduction, 0, 10 * kSecond, 1.0, true});
+  m.job_records.push_back(
+      {1, JobSize::kLarge, JobTier::kProduction, 0, 30 * kSecond, 2.0, true});
+  EXPECT_DOUBLE_EQ(m.avg_completion_s(), 20.0);
+  const JobSize small = JobSize::kSmall;
+  EXPECT_DOUBLE_EQ(m.avg_completion_s(&small), 10.0);
+  const JobSize medium = JobSize::kMedium;
+  EXPECT_DOUBLE_EQ(m.avg_completion_s(&medium), 0.0);
+}
+
+TEST(JobRecordTest, ClassBreakdownTable) {
+  WorkloadConfig cfg;
+  cfg.job_count = 6;
+  cfg.task_scale = 0.01;
+  DspSystem system;
+  const RunMetrics m = system.run(
+      ClusterSpec::ec2(4), WorkloadGenerator(cfg, 71).generate(), fast_params());
+  const Table t = job_class_table(m, "per-class");
+  const std::string out = t.render();
+  EXPECT_NE(out.find("small"), std::string::npos);
+  EXPECT_NE(out.find("medium"), std::string::npos);
+  EXPECT_NE(out.find("large"), std::string::npos);
+  EXPECT_EQ(t.row_count(), 3u);
+}
+
+TEST(TableIiTest, DefaultsMatchThePaper) {
+  // Table II of the paper, field by field (documented deviations: tau and
+  // rho — see DESIGN.md §7).
+  const DspParams p;
+  EXPECT_DOUBLE_EQ(p.delta, 0.35);    // minimum required ratio
+  EXPECT_DOUBLE_EQ(p.gamma, 0.5);     // level coefficient in (0,1)
+  EXPECT_DOUBLE_EQ(p.omega1, 0.5);    // remaining-time weight
+  EXPECT_DOUBLE_EQ(p.omega2, 0.3);    // waiting-time weight
+  EXPECT_DOUBLE_EQ(p.omega3, 0.2);    // allowable-waiting-time weight
+  EXPECT_DOUBLE_EQ(p.omega1 + p.omega2 + p.omega3, 1.0);
+  EXPECT_DOUBLE_EQ(p.theta1, 0.5);    // CPU weight in g(k)
+  EXPECT_DOUBLE_EQ(p.theta2, 0.5);    // memory weight in g(k)
+  const SrptPolicy srpt;              // alpha = 0.5, beta = 1 per Table II
+  (void)srpt;
+  const EngineParams ep;
+  EXPECT_EQ(ep.ctx_switch, 50 * kMillisecond);  // sigma = 0.05 s
+  EXPECT_EQ(ep.period, 5 * kMinute);  // "ran the scheduling every 5mins"
+}
+
+TEST(UmbrellaHeaderTest, ExposesCoreTypes) {
+  // Touch one symbol from each subsystem to prove the umbrella pulls in
+  // the full public API.
+  const ClusterSpec cluster = ClusterSpec::ec2(1);
+  EXPECT_EQ(cluster.size(), 1u);
+  lp::Model model;
+  EXPECT_FALSE(model.has_integers());
+  DspParams params;
+  EXPECT_DOUBLE_EQ(params.delta, 0.35);
+  FailurePlan plan;
+  EXPECT_TRUE(plan.empty());
+  TimelineRecorder recorder;
+  EXPECT_TRUE(recorder.intervals().empty());
+  const TetrisScheduler tetris(TetrisScheduler::Dependency::kSimple);
+  EXPECT_STREQ(tetris.name(), "TetrisW/SimDep");
+}
+
+}  // namespace
+}  // namespace dsp

@@ -1,0 +1,95 @@
+// Tests for workload statistics and the ASCII Gantt renderer.
+#include <gtest/gtest.h>
+
+#include "sim/engine.h"
+#include "sim/recorder.h"
+#include "test_util.h"
+#include "trace/stats.h"
+#include "trace/workload.h"
+
+namespace dsp {
+namespace {
+
+using testing::make_chain_job;
+using testing::make_independent_job;
+using testing::RoundRobinScheduler;
+
+TEST(WorkloadStatsTest, EmptyWorkload) {
+  const WorkloadStats s = analyze_workload({});
+  EXPECT_EQ(s.jobs, 0u);
+  EXPECT_EQ(s.tasks, 0u);
+}
+
+TEST(WorkloadStatsTest, HandBuiltWorkload) {
+  JobSet jobs;
+  jobs.push_back(make_chain_job(0, 3, 1000.0, 0));          // 2 edges, depth 3
+  jobs.push_back(make_independent_job(1, 2, 2000.0, kMinute));  // 0 edges
+  const WorkloadStats s = analyze_workload(jobs);
+  EXPECT_EQ(s.jobs, 2u);
+  EXPECT_EQ(s.tasks, 5u);
+  EXPECT_EQ(s.dependency_edges, 2u);
+  EXPECT_DOUBLE_EQ(s.total_work_mi, 3000.0 + 4000.0);
+  EXPECT_EQ(s.max_depth, 3);
+  EXPECT_DOUBLE_EQ(s.size_min, 1000.0);
+  EXPECT_DOUBLE_EQ(s.size_max, 2000.0);
+  // 2 of 5 tasks have parents.
+  EXPECT_NEAR(s.dependent_fraction, 0.4, 1e-9);
+  EXPECT_EQ(s.last_arrival - s.first_arrival, kMinute);
+}
+
+TEST(WorkloadStatsTest, MatchesGeneratorShape) {
+  WorkloadConfig cfg;
+  cfg.job_count = 12;
+  cfg.task_scale = 0.02;
+  const WorkloadStats s =
+      analyze_workload(WorkloadGenerator(cfg, 77).generate());
+  EXPECT_EQ(s.jobs, 12u);
+  EXPECT_EQ(s.jobs_by_class[0], 4u);
+  EXPECT_EQ(s.jobs_by_class[1], 4u);
+  EXPECT_EQ(s.jobs_by_class[2], 4u);
+  EXPECT_LE(s.max_depth, cfg.max_levels);
+  EXPECT_LE(s.max_fanout, cfg.max_fanout);
+  EXPECT_GT(s.dependent_fraction, 0.3);  // flat level profile binds deps
+  EXPECT_GE(s.size_median, cfg.size_min_mi);
+  EXPECT_LE(s.size_median, cfg.size_max_mi);
+}
+
+TEST(WorkloadStatsTest, RenderMentionsKeyNumbers) {
+  WorkloadConfig cfg;
+  cfg.job_count = 6;
+  cfg.task_scale = 0.02;
+  const WorkloadStats s =
+      analyze_workload(WorkloadGenerator(cfg, 79).generate());
+  const std::string text = s.render();
+  EXPECT_NE(text.find("jobs: 6"), std::string::npos);
+  EXPECT_NE(text.find("DAG depth"), std::string::npos);
+  EXPECT_NE(text.find("total work"), std::string::npos);
+}
+
+TEST(GanttTest, RendersNodeRows) {
+  JobSet jobs;
+  jobs.push_back(make_independent_job(0, 4, 2000.0));
+  RoundRobinScheduler sched;
+  TimelineRecorder recorder;
+  EngineParams ep;
+  ep.period = 1 * kSecond;
+  Engine engine(ClusterSpec::uniform(2, 1800.0, 2.0, 1), jobs, sched, nullptr,
+                ep);
+  engine.set_observer(&recorder);
+  engine.run();
+
+  const std::string gantt = recorder.render_gantt(2, 40);
+  EXPECT_NE(gantt.find("node  0 |"), std::string::npos);
+  EXPECT_NE(gantt.find("node  1 |"), std::string::npos);
+  EXPECT_NE(gantt.find('#'), std::string::npos);  // running marks
+  // Two rows + time footer.
+  EXPECT_EQ(std::count(gantt.begin(), gantt.end(), '\n'), 3);
+}
+
+TEST(GanttTest, EmptyTimeline) {
+  TimelineRecorder recorder;
+  EXPECT_EQ(recorder.render_gantt(2), "(empty timeline)\n");
+}
+
+}  // namespace
+}  // namespace dsp
