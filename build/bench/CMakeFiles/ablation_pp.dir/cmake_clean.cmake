@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_pp.dir/ablation_pp.cpp.o"
+  "CMakeFiles/ablation_pp.dir/ablation_pp.cpp.o.d"
+  "ablation_pp"
+  "ablation_pp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_pp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dsp_bench_common.dir/bench_common.cpp.o"
+  "CMakeFiles/dsp_bench_common.dir/bench_common.cpp.o.d"
+  "libdsp_bench_common.a"
+  "libdsp_bench_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dsp_bench_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

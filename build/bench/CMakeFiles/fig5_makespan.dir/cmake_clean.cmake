@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5_makespan.dir/fig5_makespan.cpp.o"
+  "CMakeFiles/fig5_makespan.dir/fig5_makespan.cpp.o.d"
+  "fig5_makespan"
+  "fig5_makespan.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_makespan.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

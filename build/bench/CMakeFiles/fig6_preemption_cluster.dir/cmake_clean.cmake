@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6_preemption_cluster.dir/fig6_preemption_cluster.cpp.o"
+  "CMakeFiles/fig6_preemption_cluster.dir/fig6_preemption_cluster.cpp.o.d"
+  "fig6_preemption_cluster"
+  "fig6_preemption_cluster.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_preemption_cluster.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

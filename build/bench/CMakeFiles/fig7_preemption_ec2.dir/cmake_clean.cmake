@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig7_preemption_ec2.dir/fig7_preemption_ec2.cpp.o"
+  "CMakeFiles/fig7_preemption_ec2.dir/fig7_preemption_ec2.cpp.o.d"
+  "fig7_preemption_ec2"
+  "fig7_preemption_ec2.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7_preemption_ec2.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/deadline_rush.dir/deadline_rush.cpp.o"
+  "CMakeFiles/deadline_rush.dir/deadline_rush.cpp.o.d"
+  "deadline_rush"
+  "deadline_rush.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/deadline_rush.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

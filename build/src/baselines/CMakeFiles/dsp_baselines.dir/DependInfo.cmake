@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/baselines/aalo.cpp" "src/baselines/CMakeFiles/dsp_baselines.dir/aalo.cpp.o" "gcc" "src/baselines/CMakeFiles/dsp_baselines.dir/aalo.cpp.o.d"
+  "/root/repo/src/baselines/preempt_baselines.cpp" "src/baselines/CMakeFiles/dsp_baselines.dir/preempt_baselines.cpp.o" "gcc" "src/baselines/CMakeFiles/dsp_baselines.dir/preempt_baselines.cpp.o.d"
+  "/root/repo/src/baselines/tetris.cpp" "src/baselines/CMakeFiles/dsp_baselines.dir/tetris.cpp.o" "gcc" "src/baselines/CMakeFiles/dsp_baselines.dir/tetris.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/dsp_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/dag/CMakeFiles/dsp_dag.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/dsp_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dsp_baselines.dir/aalo.cpp.o"
+  "CMakeFiles/dsp_baselines.dir/aalo.cpp.o.d"
+  "CMakeFiles/dsp_baselines.dir/preempt_baselines.cpp.o"
+  "CMakeFiles/dsp_baselines.dir/preempt_baselines.cpp.o.d"
+  "CMakeFiles/dsp_baselines.dir/tetris.cpp.o"
+  "CMakeFiles/dsp_baselines.dir/tetris.cpp.o.d"
+  "libdsp_baselines.a"
+  "libdsp_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dsp_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

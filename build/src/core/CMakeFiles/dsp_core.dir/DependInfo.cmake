@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/dsp_scheduler.cpp" "src/core/CMakeFiles/dsp_core.dir/dsp_scheduler.cpp.o" "gcc" "src/core/CMakeFiles/dsp_core.dir/dsp_scheduler.cpp.o.d"
+  "/root/repo/src/core/dsp_system.cpp" "src/core/CMakeFiles/dsp_core.dir/dsp_system.cpp.o" "gcc" "src/core/CMakeFiles/dsp_core.dir/dsp_system.cpp.o.d"
+  "/root/repo/src/core/ilp_model.cpp" "src/core/CMakeFiles/dsp_core.dir/ilp_model.cpp.o" "gcc" "src/core/CMakeFiles/dsp_core.dir/ilp_model.cpp.o.d"
+  "/root/repo/src/core/preemption.cpp" "src/core/CMakeFiles/dsp_core.dir/preemption.cpp.o" "gcc" "src/core/CMakeFiles/dsp_core.dir/preemption.cpp.o.d"
+  "/root/repo/src/core/priority.cpp" "src/core/CMakeFiles/dsp_core.dir/priority.cpp.o" "gcc" "src/core/CMakeFiles/dsp_core.dir/priority.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/dsp_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/lp/CMakeFiles/dsp_lp.dir/DependInfo.cmake"
+  "/root/repo/build/src/dag/CMakeFiles/dsp_dag.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/dsp_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dsp_core.dir/dsp_scheduler.cpp.o"
+  "CMakeFiles/dsp_core.dir/dsp_scheduler.cpp.o.d"
+  "CMakeFiles/dsp_core.dir/dsp_system.cpp.o"
+  "CMakeFiles/dsp_core.dir/dsp_system.cpp.o.d"
+  "CMakeFiles/dsp_core.dir/ilp_model.cpp.o"
+  "CMakeFiles/dsp_core.dir/ilp_model.cpp.o.d"
+  "CMakeFiles/dsp_core.dir/preemption.cpp.o"
+  "CMakeFiles/dsp_core.dir/preemption.cpp.o.d"
+  "CMakeFiles/dsp_core.dir/priority.cpp.o"
+  "CMakeFiles/dsp_core.dir/priority.cpp.o.d"
+  "libdsp_core.a"
+  "libdsp_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dsp_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/dag/job.cpp" "src/dag/CMakeFiles/dsp_dag.dir/job.cpp.o" "gcc" "src/dag/CMakeFiles/dsp_dag.dir/job.cpp.o.d"
+  "/root/repo/src/dag/task_graph.cpp" "src/dag/CMakeFiles/dsp_dag.dir/task_graph.cpp.o" "gcc" "src/dag/CMakeFiles/dsp_dag.dir/task_graph.cpp.o.d"
+  "/root/repo/src/dag/validate.cpp" "src/dag/CMakeFiles/dsp_dag.dir/validate.cpp.o" "gcc" "src/dag/CMakeFiles/dsp_dag.dir/validate.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/dsp_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dsp_dag.dir/job.cpp.o"
+  "CMakeFiles/dsp_dag.dir/job.cpp.o.d"
+  "CMakeFiles/dsp_dag.dir/task_graph.cpp.o"
+  "CMakeFiles/dsp_dag.dir/task_graph.cpp.o.d"
+  "CMakeFiles/dsp_dag.dir/validate.cpp.o"
+  "CMakeFiles/dsp_dag.dir/validate.cpp.o.d"
+  "libdsp_dag.a"
+  "libdsp_dag.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dsp_dag.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dsp_lp.dir/milp.cpp.o"
+  "CMakeFiles/dsp_lp.dir/milp.cpp.o.d"
+  "CMakeFiles/dsp_lp.dir/model.cpp.o"
+  "CMakeFiles/dsp_lp.dir/model.cpp.o.d"
+  "CMakeFiles/dsp_lp.dir/simplex.cpp.o"
+  "CMakeFiles/dsp_lp.dir/simplex.cpp.o.d"
+  "libdsp_lp.a"
+  "libdsp_lp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dsp_lp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

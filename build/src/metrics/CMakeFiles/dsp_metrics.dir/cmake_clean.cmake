@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dsp_metrics.dir/report.cpp.o"
+  "CMakeFiles/dsp_metrics.dir/report.cpp.o.d"
+  "libdsp_metrics.a"
+  "libdsp_metrics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dsp_metrics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/cluster.cpp" "src/sim/CMakeFiles/dsp_sim.dir/cluster.cpp.o" "gcc" "src/sim/CMakeFiles/dsp_sim.dir/cluster.cpp.o.d"
+  "/root/repo/src/sim/engine.cpp" "src/sim/CMakeFiles/dsp_sim.dir/engine.cpp.o" "gcc" "src/sim/CMakeFiles/dsp_sim.dir/engine.cpp.o.d"
+  "/root/repo/src/sim/failures.cpp" "src/sim/CMakeFiles/dsp_sim.dir/failures.cpp.o" "gcc" "src/sim/CMakeFiles/dsp_sim.dir/failures.cpp.o.d"
+  "/root/repo/src/sim/invariants.cpp" "src/sim/CMakeFiles/dsp_sim.dir/invariants.cpp.o" "gcc" "src/sim/CMakeFiles/dsp_sim.dir/invariants.cpp.o.d"
+  "/root/repo/src/sim/recorder.cpp" "src/sim/CMakeFiles/dsp_sim.dir/recorder.cpp.o" "gcc" "src/sim/CMakeFiles/dsp_sim.dir/recorder.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/dag/CMakeFiles/dsp_dag.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/dsp_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

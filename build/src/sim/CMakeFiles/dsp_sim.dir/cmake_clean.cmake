@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dsp_sim.dir/cluster.cpp.o"
+  "CMakeFiles/dsp_sim.dir/cluster.cpp.o.d"
+  "CMakeFiles/dsp_sim.dir/engine.cpp.o"
+  "CMakeFiles/dsp_sim.dir/engine.cpp.o.d"
+  "CMakeFiles/dsp_sim.dir/failures.cpp.o"
+  "CMakeFiles/dsp_sim.dir/failures.cpp.o.d"
+  "CMakeFiles/dsp_sim.dir/invariants.cpp.o"
+  "CMakeFiles/dsp_sim.dir/invariants.cpp.o.d"
+  "CMakeFiles/dsp_sim.dir/recorder.cpp.o"
+  "CMakeFiles/dsp_sim.dir/recorder.cpp.o.d"
+  "libdsp_sim.a"
+  "libdsp_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dsp_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dsp_trace.dir/stats.cpp.o"
+  "CMakeFiles/dsp_trace.dir/stats.cpp.o.d"
+  "CMakeFiles/dsp_trace.dir/trace_io.cpp.o"
+  "CMakeFiles/dsp_trace.dir/trace_io.cpp.o.d"
+  "CMakeFiles/dsp_trace.dir/workload.cpp.o"
+  "CMakeFiles/dsp_trace.dir/workload.cpp.o.d"
+  "libdsp_trace.a"
+  "libdsp_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dsp_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

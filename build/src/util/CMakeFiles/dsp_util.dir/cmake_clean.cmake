@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dsp_util.dir/csv.cpp.o"
+  "CMakeFiles/dsp_util.dir/csv.cpp.o.d"
+  "CMakeFiles/dsp_util.dir/env.cpp.o"
+  "CMakeFiles/dsp_util.dir/env.cpp.o.d"
+  "CMakeFiles/dsp_util.dir/log.cpp.o"
+  "CMakeFiles/dsp_util.dir/log.cpp.o.d"
+  "CMakeFiles/dsp_util.dir/rng.cpp.o"
+  "CMakeFiles/dsp_util.dir/rng.cpp.o.d"
+  "CMakeFiles/dsp_util.dir/stats.cpp.o"
+  "CMakeFiles/dsp_util.dir/stats.cpp.o.d"
+  "CMakeFiles/dsp_util.dir/table.cpp.o"
+  "CMakeFiles/dsp_util.dir/table.cpp.o.d"
+  "CMakeFiles/dsp_util.dir/thread_pool.cpp.o"
+  "CMakeFiles/dsp_util.dir/thread_pool.cpp.o.d"
+  "CMakeFiles/dsp_util.dir/time.cpp.o"
+  "CMakeFiles/dsp_util.dir/time.cpp.o.d"
+  "libdsp_util.a"
+  "libdsp_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dsp_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

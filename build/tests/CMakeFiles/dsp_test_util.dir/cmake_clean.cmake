@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dsp_test_util.dir/test_util.cpp.o"
+  "CMakeFiles/dsp_test_util.dir/test_util.cpp.o.d"
+  "libdsp_test_util.a"
+  "libdsp_test_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dsp_test_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

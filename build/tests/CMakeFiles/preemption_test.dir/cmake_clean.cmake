@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/preemption_test.dir/preemption_test.cpp.o"
+  "CMakeFiles/preemption_test.dir/preemption_test.cpp.o.d"
+  "preemption_test"
+  "preemption_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/preemption_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/scheduler_test.cpp" "tests/CMakeFiles/scheduler_test.dir/scheduler_test.cpp.o" "gcc" "tests/CMakeFiles/scheduler_test.dir/scheduler_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/tests/CMakeFiles/dsp_test_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/dsp_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/baselines/CMakeFiles/dsp_baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/metrics/CMakeFiles/dsp_metrics.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/dsp_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/dsp_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/lp/CMakeFiles/dsp_lp.dir/DependInfo.cmake"
+  "/root/repo/build/src/dag/CMakeFiles/dsp_dag.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/dsp_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
