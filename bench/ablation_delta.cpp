@@ -8,11 +8,14 @@
 
 #include "bench_common.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace dsp::bench;
   using namespace dsp;
+  const auto cli = BenchCli::parse(argc, argv);
+  if (!cli.ok) return 2;
   BenchEnv env;
   print_bench_header("Ablation: delta window (Algorithm 1)", env);
+  BenchJsonReport report("ablation_delta", env);
 
   const std::size_t jobs_n = 300;
   const auto jobs = make_workload(jobs_n, env.scale, env.seed);
@@ -34,6 +37,7 @@ int main() {
                    fmt(m.throughput_tasks_per_ms(), 4),
                    fmt(to_seconds(m.makespan)), fmt(m.avg_job_waiting_s()),
                    fmt(policy.current_delta(), 3)});
+    report.add_run(name, m);
   };
 
   for (double delta : {0.1, 0.35, 0.6, 0.9})
@@ -41,5 +45,6 @@ int main() {
   run_variant("adaptive (0.35 start)", 0.35, true);
 
   std::fputs(table.render().c_str(), stdout);
+  report.write_if_requested(cli);
   return 0;
 }

@@ -26,11 +26,14 @@ dsp::RunMetrics run_with_plan(dsp::bench::PolicyKind policy,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   using namespace dsp::bench;
   using namespace dsp;
+  const auto cli = BenchCli::parse(argc, argv);
+  if (!cli.ok) return 2;
   BenchEnv env;
   print_bench_header("Ablation: node failures and stragglers", env);
+  BenchJsonReport report("ablation_failures", env);
 
   const std::size_t jobs_n = 300;
   const auto jobs = make_workload(jobs_n, env.scale, env.seed);
@@ -47,6 +50,10 @@ int main() {
       plan = FailurePlan::random_outages(cluster, horizon, mtbf_hours,
                                          /*mttr_minutes=*/5.0, env.seed + 1);
     const RunMetrics m = run_with_plan(PolicyKind::kDsp, cluster, jobs, plan);
+    report.add_run("dsp-mtbf=" +
+                       (mtbf_hours == 0.0 ? std::string("none")
+                                          : fmt(mtbf_hours, 1) + "h"),
+                   m);
     sweep.add_row({mtbf_hours == 0.0 ? "none" : fmt(mtbf_hours, 1),
                    fmt_count(static_cast<long long>(m.node_failures)),
                    fmt_count(static_cast<long long>(m.tasks_killed_by_failure)),
@@ -66,6 +73,7 @@ int main() {
                             PolicyKind::kAmoeba, PolicyKind::kNatjam,
                             PolicyKind::kSrpt}) {
     const RunMetrics m = run_with_plan(policy, cluster, jobs, shared);
+    report.add_run(std::string("mtbf4h-") + to_string(policy), m);
     cmp.add_row({to_string(policy), fmt(to_seconds(m.makespan)),
                  fmt(m.throughput_tasks_per_ms(), 4),
                  fmt_count(static_cast<long long>(m.tasks_killed_by_failure)),
@@ -103,5 +111,6 @@ int main() {
     }
   }
   std::fputs(strag.render().c_str(), stdout);
+  report.write_if_requested(cli);
   return 0;
 }

@@ -9,11 +9,14 @@
 
 #include "bench_common.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace dsp::bench;
   using namespace dsp;
+  const auto cli = BenchCli::parse(argc, argv);
+  if (!cli.ok) return 2;
   BenchEnv env;
   print_bench_header("Ablation: gamma (Formula 12 level weighting)", env);
+  BenchJsonReport report("ablation_gamma", env);
 
   const std::size_t jobs_n = 300;
   const auto jobs = make_workload(jobs_n, env.scale, env.seed);
@@ -35,7 +38,9 @@ int main() {
                    fmt(to_seconds(m.makespan)), fmt(m.avg_job_waiting_s()),
                    fmt_count(static_cast<long long>(m.preemptions)),
                    fmt_count(static_cast<long long>(m.jobs_met_deadline))});
+    report.add_run("gamma=" + fmt(gamma, 1), m);
   }
   std::fputs(table.render().c_str(), stdout);
+  report.write_if_requested(cli);
   return 0;
 }

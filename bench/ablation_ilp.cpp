@@ -58,11 +58,14 @@ double heuristic_makespan(const dsp::IlpProblem& p) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   using namespace dsp::bench;
   using namespace dsp;
+  const auto cli = BenchCli::parse(argc, argv);
+  if (!cli.ok) return 2;
   BenchEnv env;
   print_bench_header("Ablation: exact ILP vs relax-round vs heuristic", env);
+  BenchJsonReport report("ablation_ilp", env);
 
   Table table("schedule quality + solve time on random small instances");
   table.set_header({"instance", "exact(s)", "relax-round(s)", "heuristic(s)",
@@ -98,5 +101,8 @@ int main() {
   std::fputs(table.render().c_str(), stdout);
   std::printf("\nmean ratio vs exact: relax-round %.3f, heuristic %.3f\n",
               rr_ratio.mean(), heur_ratio.mean());
+  report.add_scalar("rr_over_exact_mean", rr_ratio.mean());
+  report.add_scalar("heur_over_exact_mean", heur_ratio.mean());
+  report.write_if_requested(cli);
   return 0;
 }

@@ -7,11 +7,14 @@
 
 #include "bench_common.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace dsp::bench;
   using namespace dsp;
+  const auto cli = BenchCli::parse(argc, argv);
+  if (!cli.ok) return 2;
   BenchEnv env;
   print_bench_header("Ablation: data locality", env);
+  BenchJsonReport report("ablation_locality", env);
 
   const std::size_t jobs_n = 200;
   const ClusterSpec cluster = ClusterSpec::ec2();
@@ -41,9 +44,13 @@ int main() {
                      fmt(to_seconds(m.makespan)),
                      fmt(m.throughput_tasks_per_ms(), 4),
                      fmt(m.overhead_s, 0)});
+      report.add_run("pinned=" + fmt(fraction, 1) +
+                         (aware ? "-aware" : "-blind"),
+                     m);
       if (fraction == 0.0) break;  // variants identical with no pinning
     }
   }
   std::fputs(table.render().c_str(), stdout);
+  report.write_if_requested(cli);
   return 0;
 }

@@ -8,11 +8,14 @@
 
 #include "bench_common.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace dsp::bench;
   using namespace dsp;
+  const auto cli = BenchCli::parse(argc, argv);
+  if (!cli.ok) return 2;
   BenchEnv env;
   print_bench_header("Ablation: normalized-priority preemption (PP)", env);
+  BenchJsonReport report("ablation_pp", env);
 
   const std::size_t jobs_n = 300;
   const auto jobs = make_workload(jobs_n, env.scale, env.seed);
@@ -47,7 +50,9 @@ int main() {
                    fmt_count(static_cast<long long>(m.suppressed_preemptions)),
                    fmt(m.throughput_tasks_per_ms(), 4),
                    fmt(to_seconds(m.makespan)), fmt(m.avg_job_waiting_s())});
+    report.add_run(v.name, m);
   }
   std::fputs(table.render().c_str(), stdout);
+  report.write_if_requested(cli);
   return 0;
 }

@@ -1,6 +1,11 @@
 #include "bench_common.h"
 
 #include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+
+#include "obs/metrics.h"
 
 namespace dsp::bench {
 
@@ -92,6 +97,95 @@ void print_bench_header(const std::string& name, const BenchEnv& env) {
   std::printf("### %s  (DSP_SCALE=%g DSP_SEED=%llu DSP_POINTS=%zu)\n\n",
               name.c_str(), env.scale,
               static_cast<unsigned long long>(env.seed), env.points);
+}
+
+BenchCli BenchCli::parse(int argc, char** argv) {
+  BenchCli cli;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--json") == 0) {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "%s: --json requires a path\n", argv[0]);
+        cli.ok = false;
+        return cli;
+      }
+      cli.json_path = argv[++i];
+    } else {
+      std::fprintf(stderr,
+                   "usage: %s [--json <path>]\n"
+                   "  --json <path>  dump run metrics + the metrics "
+                   "registry as JSON\n",
+                   argv[0]);
+      cli.ok = false;
+      return cli;
+    }
+  }
+  return cli;
+}
+
+BenchJsonReport::BenchJsonReport(std::string bench, BenchEnv env)
+    : bench_(std::move(bench)), env_(env) {}
+
+void BenchJsonReport::add_series(const std::string& name,
+                                 const MetricSeries& series) {
+  std::ostringstream os;
+  write_json(os, series);
+  series_.emplace_back(name, os.str());
+}
+
+void BenchJsonReport::add_run(const std::string& name,
+                              const RunMetrics& metrics) {
+  std::ostringstream os;
+  write_json(os, metrics);
+  runs_.emplace_back(name, os.str());
+}
+
+void BenchJsonReport::add_scalar(const std::string& name, double value) {
+  scalars_.emplace_back(name, value);
+}
+
+bool BenchJsonReport::write(const std::string& path) const {
+  std::ofstream out(path);
+  if (!out) {
+    std::fprintf(stderr, "warning: cannot open %s for writing\n",
+                 path.c_str());
+    return false;
+  }
+  out << "{\"bench\":";
+  obs::write_json_string(out, bench_);
+  out << ",\"env\":{\"scale\":";
+  obs::write_json_number(out, env_.scale);
+  out << ",\"seed\":" << env_.seed << ",\"points\":" << env_.points << '}';
+  out << ",\"series\":[";
+  for (std::size_t i = 0; i < series_.size(); ++i) {
+    if (i) out << ',';
+    out << "{\"name\":";
+    obs::write_json_string(out, series_[i].first);
+    out << ",\"data\":" << series_[i].second << '}';
+  }
+  out << "],\"runs\":[";
+  for (std::size_t i = 0; i < runs_.size(); ++i) {
+    if (i) out << ',';
+    out << "{\"name\":";
+    obs::write_json_string(out, runs_[i].first);
+    out << ",\"metrics\":" << runs_[i].second << '}';
+  }
+  out << "],\"scalars\":{";
+  for (std::size_t i = 0; i < scalars_.size(); ++i) {
+    if (i) out << ',';
+    obs::write_json_string(out, scalars_[i].first);
+    out << ':';
+    obs::write_json_number(out, scalars_[i].second);
+  }
+  out << "},\"registry\":";
+  obs::default_registry().to_json(out);
+  out << "}\n";
+  return out.good();
+}
+
+void BenchJsonReport::write_if_requested(const BenchCli& cli) const {
+  if (cli.json_path.empty()) return;
+  if (write(cli.json_path))
+    std::printf("\nJSON report written to %s\n", cli.json_path.c_str());
 }
 
 }  // namespace dsp::bench

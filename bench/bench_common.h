@@ -77,4 +77,42 @@ RunMetrics run_policy(PolicyKind policy, const ClusterSpec& cluster,
 /// Prints a one-line header for a bench binary.
 void print_bench_header(const std::string& name, const BenchEnv& env);
 
+/// Command-line flags shared by every bench binary.
+struct BenchCli {
+  std::string json_path;  ///< --json <path>; empty = no JSON dump.
+  bool ok = true;         ///< False on unknown flags (usage was printed).
+
+  /// Parses `--json <path>` (and `--help`). Unknown flags set ok=false.
+  static BenchCli parse(int argc, char** argv);
+};
+
+/// Machine-readable bench report: named series / single runs / scalars
+/// plus a snapshot of the default metrics registry. Written as one JSON
+/// object:
+///   {"bench":...,"env":{"scale","seed","points"},
+///    "series":[{"name",...}],"runs":[{"name","metrics"}],
+///    "scalars":{...},"registry":{"counters","gauges","histograms"}}
+class BenchJsonReport {
+ public:
+  BenchJsonReport(std::string bench, BenchEnv env);
+
+  void add_series(const std::string& name, const MetricSeries& series);
+  void add_run(const std::string& name, const RunMetrics& metrics);
+  void add_scalar(const std::string& name, double value);
+
+  /// Serializes the report (including obs::default_registry()) to `path`.
+  /// Returns false and warns on I/O failure.
+  bool write(const std::string& path) const;
+
+  /// If cli names a --json path, writes there and prints a confirmation.
+  void write_if_requested(const BenchCli& cli) const;
+
+ private:
+  std::string bench_;
+  BenchEnv env_;
+  std::vector<std::pair<std::string, std::string>> series_;  // name, json
+  std::vector<std::pair<std::string, std::string>> runs_;    // name, json
+  std::vector<std::pair<std::string, double>> scalars_;
+};
+
 }  // namespace dsp::bench

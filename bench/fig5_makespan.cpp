@@ -11,7 +11,7 @@ namespace dsp::bench {
 namespace {
 
 void run_testbed(const char* title, const ClusterSpec& cluster,
-                 const BenchEnv& env) {
+                 const BenchEnv& env, BenchJsonReport& report) {
   const std::vector<SchedKind> methods{SchedKind::kDsp, SchedKind::kAalo,
                                        SchedKind::kTetrisSimDep,
                                        SchedKind::kTetrisNoDep};
@@ -31,16 +31,22 @@ void run_testbed(const char* title, const ClusterSpec& cluster,
                  .c_str(),
              stdout);
   std::fputs("\n", stdout);
+  report.add_series(title, series);
 }
 
 }  // namespace
 }  // namespace dsp::bench
 
-int main() {
+int main(int argc, char** argv) {
   using namespace dsp::bench;
+  const auto cli = BenchCli::parse(argc, argv);
+  if (!cli.ok) return 2;
   const BenchEnv env;
   print_bench_header("Figure 5: makespan of scheduling methods", env);
-  run_testbed("Fig 5(a) real cluster", dsp::ClusterSpec::real_cluster(), env);
-  run_testbed("Fig 5(b) Amazon EC2", dsp::ClusterSpec::ec2(), env);
+  BenchJsonReport report("fig5_makespan", env);
+  run_testbed("Fig 5(a) real cluster", dsp::ClusterSpec::real_cluster(), env,
+              report);
+  run_testbed("Fig 5(b) Amazon EC2", dsp::ClusterSpec::ec2(), env, report);
+  report.write_if_requested(cli);
   return 0;
 }

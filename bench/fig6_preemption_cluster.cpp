@@ -10,7 +10,8 @@
 
 namespace dsp::bench {
 
-void run_preemption_figure(const char* figure, const ClusterSpec& cluster) {
+void run_preemption_figure(const char* figure, const char* bench_name,
+                           const ClusterSpec& cluster, const BenchCli& cli) {
   const BenchEnv env;
   print_bench_header(std::string(figure) + ": preemption methods", env);
 
@@ -41,13 +42,20 @@ void run_preemption_figure(const char* figure, const ClusterSpec& cluster) {
   std::fputs(series.preemptions_table(f + "(d): # of preemptions vs #jobs")
                  .render().c_str(), stdout);
   std::fputs("\n", stdout);
+
+  BenchJsonReport report(bench_name, env);
+  report.add_series(figure, series);
+  report.write_if_requested(cli);
 }
 
 }  // namespace dsp::bench
 
 #ifndef DSP_FIG6_NO_MAIN
-int main() {
-  dsp::bench::run_preemption_figure("Fig 6", dsp::ClusterSpec::real_cluster());
+int main(int argc, char** argv) {
+  const auto cli = dsp::bench::BenchCli::parse(argc, argv);
+  if (!cli.ok) return 2;
+  dsp::bench::run_preemption_figure("Fig 6", "fig6_preemption_cluster",
+                                    dsp::ClusterSpec::real_cluster(), cli);
   return 0;
 }
 #endif

@@ -5,7 +5,10 @@
 #define DSP_FIG6_NO_MAIN
 #include "fig6_preemption_cluster.cpp"
 
-int main() {
-  dsp::bench::run_preemption_figure("Fig 7", dsp::ClusterSpec::ec2());
+int main(int argc, char** argv) {
+  const auto cli = dsp::bench::BenchCli::parse(argc, argv);
+  if (!cli.ok) return 2;
+  dsp::bench::run_preemption_figure("Fig 7", "fig7_preemption_ec2",
+                                    dsp::ClusterSpec::ec2(), cli);
   return 0;
 }

@@ -8,7 +8,7 @@
 namespace dsp::bench {
 namespace {
 
-void run() {
+void run(const BenchCli& cli) {
   BenchEnv env;
   print_bench_header("Figure 8: DSP scalability", env);
 
@@ -30,12 +30,18 @@ void run() {
   std::fputs(series.throughput_table("Fig 8(b): DSP throughput (tasks/ms) vs #jobs")
                  .render().c_str(), stdout);
   std::fputs("\n", stdout);
+
+  BenchJsonReport report("fig8_scalability", env);
+  report.add_series("Fig 8", series);
+  report.write_if_requested(cli);
 }
 
 }  // namespace
 }  // namespace dsp::bench
 
-int main() {
-  dsp::bench::run();
+int main(int argc, char** argv) {
+  const auto cli = dsp::bench::BenchCli::parse(argc, argv);
+  if (!cli.ok) return 2;
+  dsp::bench::run(cli);
   return 0;
 }

@@ -30,7 +30,7 @@ void DspPreemption::on_epoch(Engine& engine) {
       return prio_[a] != prio_[b] ? prio_[a] < prio_[b] : a < b;
     });
 
-    urgent_pass(engine, node, preemptable);
+    urgent_pass(engine, node, preemptable, pbar);
     const auto [c, p] = window_pass(engine, node, preemptable, pbar);
     considered += c;
     preempted += p;
@@ -38,8 +38,21 @@ void DspPreemption::on_epoch(Engine& engine) {
   if (params_.adaptive_delta) adapt_delta(considered, preempted);
 }
 
+obs::PreemptDecision DspPreemption::make_decision(int node, Gid w) const {
+  obs::PreemptDecision d;
+  d.node = node;
+  d.candidate = w;
+  d.candidate_priority = w < prio_.size() ? prio_[w] : 0.0;
+  d.rho = params_.rho;
+  d.delta = delta_;
+  d.epsilon = params_.epsilon;
+  d.tau = params_.tau;
+  return d;
+}
+
 void DspPreemption::urgent_pass(Engine& engine, int node,
-                                std::vector<Gid>& preemptable) const {
+                                std::vector<Gid>& preemptable,
+                                double pbar) const {
   // Snapshot: try_preempt mutates the waiting queue.
   const std::vector<Gid> waiting = engine.waiting(node);
   for (Gid w : waiting) {
@@ -53,20 +66,34 @@ void DspPreemption::urgent_pass(Engine& engine, int node,
     const bool urgent = (t_a <= params_.epsilon && t_a >= 0) ||
                         engine.waiting_time(w) >= params_.tau;
     if (!urgent) continue;
+    obs::PreemptDecision d = make_decision(node, w);
+    d.urgent = true;
+    bool dep_blocked = false;
     // Lowest-priority victim the urgent task does not depend on (C2),
     // ignoring C1 and the PP gap.
     for (auto it = preemptable.begin(); it != preemptable.end(); ++it) {
       const Gid v = *it;
       if (engine.state(v) != TaskState::kRunning) continue;
-      if (engine.depends_on(w, v)) continue;
+      if (engine.depends_on(w, v)) {
+        dep_blocked = true;
+        continue;
+      }
       const PreemptResult res = engine.try_preempt(node, v, w);
       if (res == PreemptResult::kOk) {
+        d.outcome = obs::PreemptOutcome::kFired;
+        d.victim = v;
+        d.victim_priority = prio_[v];
+        if (pbar > 0.0) d.normalized_gap = (prio_[w] - prio_[v]) / pbar;
         preemptable.erase(it);
         break;
       }
       if (res == PreemptResult::kIncomingNotReady) break;  // defensive
       // kNoResources: try the next victim.
     }
+    if (d.outcome != obs::PreemptOutcome::kFired)
+      d.outcome = dep_blocked ? obs::PreemptOutcome::kBlockedByDependency
+                              : obs::PreemptOutcome::kNoVictim;
+    engine.record_preempt_decision(d);
   }
 }
 
@@ -85,6 +112,8 @@ std::pair<std::uint64_t, std::uint64_t> DspPreemption::window_pass(
     if (!engine.is_ready(w)) continue;
     ++considered;
 
+    obs::PreemptDecision d = make_decision(node, w);
+    bool dep_blocked = false;
     // Victims in ascending priority: the first one passing all conditions
     // is the cheapest to displace.
     for (auto it = preemptable.begin(); it != preemptable.end();) {
@@ -98,6 +127,7 @@ std::pair<std::uint64_t, std::uint64_t> DspPreemption::window_pass(
       if (prio_[w] <= prio_[v]) break;
       // C2: never preempt a task the waiting task depends on.
       if (engine.depends_on(w, v)) {
+        dep_blocked = true;
         ++it;
         continue;
       }
@@ -106,13 +136,20 @@ std::pair<std::uint64_t, std::uint64_t> DspPreemption::window_pass(
       if (params_.normalized_pp && pbar > 0.0) {
         const double gap = prio_[w] - prio_[v];
         if (gap / pbar <= params_.rho) {
-          engine.note_suppressed_preemption();
+          d.outcome = obs::PreemptOutcome::kSuppressedPP;
+          d.victim = v;
+          d.victim_priority = prio_[v];
+          d.normalized_gap = gap / pbar;
           break;  // later victims have higher priority -> smaller gaps
         }
       }
       const PreemptResult res = engine.try_preempt(node, v, w);
       if (res == PreemptResult::kOk) {
         ++preempted;
+        d.outcome = obs::PreemptOutcome::kFired;
+        d.victim = v;
+        d.victim_priority = prio_[v];
+        if (pbar > 0.0) d.normalized_gap = (prio_[w] - prio_[v]) / pbar;
         preemptable.erase(it);
         break;
       }
@@ -122,6 +159,12 @@ std::pair<std::uint64_t, std::uint64_t> DspPreemption::window_pass(
       }
       break;  // not-ready/invalid: stop trying for this waiting task
     }
+    if (d.outcome != obs::PreemptOutcome::kFired &&
+        d.outcome != obs::PreemptOutcome::kSuppressedPP) {
+      d.outcome = dep_blocked ? obs::PreemptOutcome::kBlockedByDependency
+                              : obs::PreemptOutcome::kNoVictim;
+    }
+    engine.record_preempt_decision(d);
   }
   return {considered, preempted};
 }

@@ -53,12 +53,15 @@ class DspPreemption : public PreemptionPolicy {
   const DspParams& params() const { return params_; }
 
  private:
-  void urgent_pass(Engine& engine, int node,
-                   std::vector<Gid>& preemptable) const;
+  void urgent_pass(Engine& engine, int node, std::vector<Gid>& preemptable,
+                   double pbar) const;
   /// Returns {considered, preempted} counts for the adaptive controller.
   std::pair<std::uint64_t, std::uint64_t> window_pass(
       Engine& engine, int node, std::vector<Gid>& preemptable,
       double pbar) const;
+  /// Seeds an audit record for candidate `w` with the parameters in
+  /// effect (rho/epsilon/tau and the current adapted delta).
+  obs::PreemptDecision make_decision(int node, Gid w) const;
   void adapt_delta(std::uint64_t considered, std::uint64_t preempted);
   /// Straggler mitigation: vacate degraded nodes and migrate their work.
   void mitigate_stragglers(Engine& engine) const;

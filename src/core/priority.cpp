@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "obs/profiler.h"
+
 namespace dsp {
 
 double DependencyPriority::leaf_priority(const Engine& engine, Gid g) const {
@@ -42,6 +44,7 @@ void DependencyPriority::compute_job(const Engine& engine, JobId job,
 
 DependencyPriority::Range DependencyPriority::compute_all(
     const Engine& engine, std::vector<double>& out) const {
+  DSP_PROFILE("priority.compute_all_s");
   out.assign(engine.total_task_count(), 0.0);
   Range range;
   bool first = true;

@@ -4,6 +4,7 @@
 #include <cmath>
 #include <queue>
 
+#include "obs/profiler.h"
 #include "util/log.h"
 
 namespace dsp::lp {
@@ -29,6 +30,7 @@ int most_fractional(const Model& model, const std::vector<double>& x,
 }  // namespace
 
 Solution MilpSolver::solve(const Model& model) const {
+  DSP_PROFILE("lp.milp_solve_s");
   last_nodes_ = 0;
   SimplexSolver lp_solver(opts_.lp);
   const double dir_sign =

@@ -5,6 +5,7 @@
 #include <cmath>
 #include <vector>
 
+#include "obs/profiler.h"
 #include "util/log.h"
 
 namespace dsp::lp {
@@ -167,6 +168,7 @@ class Tableau {
 }  // namespace
 
 Solution SimplexSolver::solve(const Model& model) const {
+  DSP_PROFILE("lp.simplex_solve_s");
   const double tol = opts_.tol;
   last_iterations_ = 0;
 

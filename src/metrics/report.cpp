@@ -1,9 +1,26 @@
 #include "metrics/report.h"
 
-#include <cassert>
 #include <cstdio>
+#include <ostream>
+#include <stdexcept>
+
+#include "obs/metrics.h"
 
 namespace dsp {
+namespace {
+
+[[noreturn]] void throw_grid_range(const char* fn, std::size_t method,
+                                   std::size_t x, std::size_t methods,
+                                   std::size_t xs) {
+  char buf[160];
+  std::snprintf(buf, sizeof buf,
+                "MetricSeries::%s(method=%zu, x=%zu) out of range: grid is "
+                "%zu methods x %zu sweep points",
+                fn, method, x, methods, xs);
+  throw std::out_of_range(buf);
+}
+
+}  // namespace
 
 MetricSeries::MetricSeries(std::vector<std::string> methods,
                            std::vector<long long> xs, std::string x_label)
@@ -13,12 +30,14 @@ MetricSeries::MetricSeries(std::vector<std::string> methods,
       grid_(methods_.size() * xs_.size()) {}
 
 void MetricSeries::set(std::size_t method, std::size_t x, RunMetrics metrics) {
-  assert(method < methods_.size() && x < xs_.size());
+  if (method >= methods_.size() || x >= xs_.size())
+    throw_grid_range("set", method, x, methods_.size(), xs_.size());
   grid_[x * methods_.size() + method] = std::move(metrics);
 }
 
 const RunMetrics& MetricSeries::at(std::size_t method, std::size_t x) const {
-  assert(method < methods_.size() && x < xs_.size());
+  if (method >= methods_.size() || x >= xs_.size())
+    throw_grid_range("at", method, x, methods_.size(), xs_.size());
   return grid_[x * methods_.size() + method];
 }
 
@@ -86,6 +105,79 @@ Table job_class_table(const RunMetrics& m, const std::string& title) {
                  : "-"});
   }
   return t;
+}
+
+void write_json(std::ostream& out, const RunMetrics& m) {
+  using obs::write_json_number;
+  // Never the first field, so always prefixes a comma.
+  auto field_u = [&out](const char* k, std::uint64_t v) {
+    out << ",\"" << k << "\":" << v;
+  };
+  out << '{';
+  out << "\"makespan_s\":";
+  write_json_number(out, to_seconds(m.makespan));
+  out << ",\"throughput_tasks_per_ms\":";
+  write_json_number(out, m.throughput_tasks_per_ms());
+  out << ",\"throughput_jobs_per_hour\":";
+  write_json_number(out, m.throughput_jobs_per_hour());
+  field_u("tasks_finished", m.tasks_finished);
+  field_u("jobs_finished", m.jobs_finished);
+  field_u("jobs_met_deadline", m.jobs_met_deadline);
+  field_u("deadline_misses", m.deadline_misses);
+  field_u("disorders", m.disorders);
+  out << ",\"avg_job_waiting_s\":";
+  write_json_number(out, m.avg_job_waiting_s());
+  out << ",\"avg_completion_s\":";
+  write_json_number(out, m.avg_completion_s());
+  field_u("preemptions", m.preemptions);
+  field_u("suppressed_preemptions", m.suppressed_preemptions);
+  field_u("preempt_evaluations", m.preempt_evaluations);
+  field_u("preempt_blocked_dependency", m.preempt_blocked_dependency);
+  field_u("preempt_no_victim", m.preempt_no_victim);
+  field_u("node_failures", m.node_failures);
+  field_u("tasks_killed_by_failure", m.tasks_killed_by_failure);
+  out << ",\"work_lost_mi\":";
+  write_json_number(out, m.work_lost_mi);
+  field_u("locality_local", m.locality_local);
+  field_u("locality_remote", m.locality_remote);
+  out << ",\"locality_hit_rate\":";
+  write_json_number(out, m.locality_hit_rate());
+  out << ",\"slot_utilization\":";
+  write_json_number(out, m.slot_utilization);
+  out << ",\"overhead_s\":";
+  write_json_number(out, m.overhead_s);
+  out << ",\"sim_wall_s\":";
+  write_json_number(out, m.sim_wall_s);
+  out << '}';
+}
+
+void write_json(std::ostream& out, const MetricSeries& s) {
+  out << "{\"x_label\":";
+  obs::write_json_string(out, s.x_label());
+  out << ",\"methods\":[";
+  for (std::size_t m = 0; m < s.methods().size(); ++m) {
+    if (m) out << ',';
+    obs::write_json_string(out, s.methods()[m]);
+  }
+  out << "],\"xs\":[";
+  for (std::size_t x = 0; x < s.xs().size(); ++x) {
+    if (x) out << ',';
+    out << s.xs()[x];
+  }
+  out << "],\"cells\":[";
+  bool first = true;
+  for (std::size_t x = 0; x < s.xs().size(); ++x) {
+    for (std::size_t m = 0; m < s.methods().size(); ++m) {
+      if (!first) out << ',';
+      first = false;
+      out << "{\"method\":";
+      obs::write_json_string(out, s.methods()[m]);
+      out << ",\"x\":" << s.xs()[x] << ",\"metrics\":";
+      write_json(out, s.at(m, x));
+      out << '}';
+    }
+  }
+  out << "]}";
 }
 
 std::string summarize(const RunMetrics& m) {

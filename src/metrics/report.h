@@ -6,6 +6,7 @@
 #pragma once
 
 #include <functional>
+#include <iosfwd>
 #include <string>
 #include <vector>
 
@@ -21,11 +22,14 @@ class MetricSeries {
                std::string x_label = "jobs");
 
   /// Stores the result for (method index, sweep index).
+  /// Throws std::out_of_range when either index is outside the grid.
   void set(std::size_t method, std::size_t x, RunMetrics metrics);
 
+  /// Throws std::out_of_range when either index is outside the grid.
   const RunMetrics& at(std::size_t method, std::size_t x) const;
   const std::vector<std::string>& methods() const { return methods_; }
   const std::vector<long long>& xs() const { return xs_; }
+  const std::string& x_label() const { return x_label_; }
 
   /// Renders one metric as a table, e.g.
   ///   table("Fig 5(a) makespan (s)", [](auto& m){ return
@@ -55,5 +59,12 @@ std::string summarize(const RunMetrics& m);
 /// completion time, mean task wait, deadline hit rate. Built from
 /// RunMetrics::job_records.
 Table job_class_table(const RunMetrics& m, const std::string& title);
+
+/// Writes one run's metrics as a flat JSON object (makespan, throughput,
+/// waiting, preemption-audit counters, failures, locality, overheads).
+void write_json(std::ostream& out, const RunMetrics& m);
+
+/// Writes a series as {"x_label","methods","xs","cells":[{method,x,...}]}.
+void write_json(std::ostream& out, const MetricSeries& s);
 
 }  // namespace dsp

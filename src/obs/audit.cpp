@@ -1,0 +1,54 @@
+#include "obs/audit.h"
+
+#include <cstdio>
+#include <ostream>
+
+namespace dsp::obs {
+
+const char* to_string(PreemptOutcome o) {
+  switch (o) {
+    case PreemptOutcome::kFired: return "fired";
+    case PreemptOutcome::kSuppressedPP: return "suppressed-pp";
+    case PreemptOutcome::kBlockedByDependency: return "blocked-c2";
+    case PreemptOutcome::kNoVictim: return "no-victim";
+  }
+  return "?";
+}
+
+void PreemptionAuditTrail::record(const PreemptDecision& d) {
+  decisions_.push_back(d);
+  ++counts_[static_cast<std::size_t>(d.outcome)];
+}
+
+std::vector<PreemptDecision> PreemptionAuditTrail::with_outcome(
+    PreemptOutcome o) const {
+  std::vector<PreemptDecision> out;
+  for (const auto& d : decisions_)
+    if (d.outcome == o) out.push_back(d);
+  return out;
+}
+
+void PreemptionAuditTrail::write_csv(std::ostream& out) const {
+  out << "time_us,node,candidate,victim,candidate_priority,victim_priority,"
+         "normalized_gap,rho,delta,epsilon_us,tau_us,urgent,outcome\n";
+  char buf[96];
+  for (const auto& d : decisions_) {
+    out << d.time << ',' << d.node << ',' << d.candidate << ',';
+    if (d.victim == kInvalidGid)
+      out << '-';
+    else
+      out << d.victim;
+    std::snprintf(buf, sizeof buf, ",%.6g,%.6g,%.6g,%.6g,%.6g,",
+                  d.candidate_priority, d.victim_priority, d.normalized_gap,
+                  d.rho, d.delta);
+    out << buf << d.epsilon << ',' << d.tau << ',' << (d.urgent ? 1 : 0) << ','
+        << to_string(d.outcome) << '\n';
+  }
+}
+
+void PreemptionAuditTrail::clear() {
+  decisions_.clear();
+  counts_.fill(0);
+}
+
+}  // namespace dsp::obs

@@ -1,0 +1,179 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <ostream>
+
+namespace dsp::obs {
+
+void write_json_string(std::ostream& out, std::string_view s) {
+  out << '"';
+  for (char c : s) {
+    switch (c) {
+      case '"': out << "\\\""; break;
+      case '\\': out << "\\\\"; break;
+      case '\n': out << "\\n"; break;
+      case '\r': out << "\\r"; break;
+      case '\t': out << "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out << buf;
+        } else {
+          out << c;
+        }
+    }
+  }
+  out << '"';
+}
+
+void write_json_number(std::ostream& out, double v) {
+  if (!std::isfinite(v)) {
+    out << "null";
+    return;
+  }
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%.12g", v);
+  out << buf;
+}
+
+void Histo::add(double x) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (count_ == 0) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  sum_ += x;
+  if (samples_.size() < max_samples_)
+    samples_.push_back(x);
+  else
+    samples_[static_cast<std::size_t>(count_ % max_samples_)] = x;
+  ++count_;
+}
+
+namespace {
+
+// p-quantile with linear interpolation over a sorted vector (the same
+// convention as util/stats percentile()).
+double sorted_percentile(const std::vector<double>& sorted, double p) {
+  if (sorted.empty()) return 0.0;
+  if (sorted.size() == 1) return sorted.front();
+  const double pos = p * static_cast<double>(sorted.size() - 1);
+  const auto lo = static_cast<std::size_t>(pos);
+  const std::size_t hi = std::min(lo + 1, sorted.size() - 1);
+  const double frac = pos - static_cast<double>(lo);
+  return sorted[lo] + (sorted[hi] - sorted[lo]) * frac;
+}
+
+}  // namespace
+
+Histo::Snapshot Histo::snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  Snapshot s;
+  s.count = count_;
+  if (count_ == 0) return s;
+  s.sum = sum_;
+  s.min = min_;
+  s.max = max_;
+  s.mean = sum_ / static_cast<double>(count_);
+  std::vector<double> sorted = samples_;
+  std::sort(sorted.begin(), sorted.end());
+  s.p50 = sorted_percentile(sorted, 0.50);
+  s.p95 = sorted_percentile(sorted, 0.95);
+  s.p99 = sorted_percentile(sorted, 0.99);
+  return s;
+}
+
+void Histo::reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  count_ = 0;
+  sum_ = min_ = max_ = 0.0;
+  samples_.clear();
+}
+
+Counter* MetricsRegistry::counter(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = counters_.find(name);
+  if (it == counters_.end())
+    it = counters_.emplace(std::string(name), std::make_unique<Counter>()).first;
+  return it->second.get();
+}
+
+Gauge* MetricsRegistry::gauge(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = gauges_.find(name);
+  if (it == gauges_.end())
+    it = gauges_.emplace(std::string(name), std::make_unique<Gauge>()).first;
+  return it->second.get();
+}
+
+Histo* MetricsRegistry::histogram(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = histograms_.find(name);
+  if (it == histograms_.end())
+    it = histograms_.emplace(std::string(name), std::make_unique<Histo>()).first;
+  return it->second.get();
+}
+
+void MetricsRegistry::to_json(std::ostream& out) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  out << "{\"counters\":{";
+  bool first = true;
+  for (const auto& [name, c] : counters_) {
+    if (!first) out << ',';
+    first = false;
+    write_json_string(out, name);
+    out << ':' << c->value();
+  }
+  out << "},\"gauges\":{";
+  first = true;
+  for (const auto& [name, g] : gauges_) {
+    if (!first) out << ',';
+    first = false;
+    write_json_string(out, name);
+    out << ':';
+    write_json_number(out, g->value());
+  }
+  out << "},\"histograms\":{";
+  first = true;
+  for (const auto& [name, h] : histograms_) {
+    if (!first) out << ',';
+    first = false;
+    write_json_string(out, name);
+    const Histo::Snapshot s = h->snapshot();
+    out << ":{\"count\":" << s.count << ",\"sum\":";
+    write_json_number(out, s.sum);
+    out << ",\"min\":";
+    write_json_number(out, s.min);
+    out << ",\"max\":";
+    write_json_number(out, s.max);
+    out << ",\"mean\":";
+    write_json_number(out, s.mean);
+    out << ",\"p50\":";
+    write_json_number(out, s.p50);
+    out << ",\"p95\":";
+    write_json_number(out, s.p95);
+    out << ",\"p99\":";
+    write_json_number(out, s.p99);
+    out << '}';
+  }
+  out << "}}";
+}
+
+void MetricsRegistry::reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& [name, c] : counters_) c->reset();
+  for (auto& [name, g] : gauges_) g->reset();
+  for (auto& [name, h] : histograms_) h->reset();
+}
+
+MetricsRegistry& default_registry() {
+  static MetricsRegistry registry;
+  return registry;
+}
+
+}  // namespace dsp::obs

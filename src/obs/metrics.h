@@ -1,0 +1,165 @@
+// Metrics registry: named counters, gauges and histograms with cheap,
+// macro-guarded recording and JSON serialization.
+//
+// This is the accounting backbone of the observability layer (see
+// DESIGN.md "Observability"): the engine, the preemption policy, the LP
+// solvers and the scoped profiler all record into the process-wide
+// default_registry(), and every bench binary can dump it with --json to
+// seed the perf trajectory.
+//
+// Recording is thread-safe: counters and gauges are single atomics,
+// histograms take a short mutex. The DSP_COUNT / DSP_GAUGE / DSP_OBSERVE
+// macros cache the metric pointer in a function-local static so the
+// steady-state cost of a hot-path counter is one relaxed atomic add; with
+// DSP_OBS_DISABLED defined (CMake -DDSP_OBS=OFF) they compile to nothing.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <iosfwd>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace dsp::obs {
+
+/// Writes `s` as a JSON string literal (quotes + escapes) to `out`.
+void write_json_string(std::ostream& out, std::string_view s);
+
+/// Writes a double as a JSON number; non-finite values become null.
+void write_json_number(std::ostream& out, double v);
+
+/// Monotonically increasing event count.
+class Counter {
+ public:
+  void add(std::uint64_t n = 1) { value_.fetch_add(n, std::memory_order_relaxed); }
+  std::uint64_t value() const { return value_.load(std::memory_order_relaxed); }
+  void reset() { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::uint64_t> value_{0};
+};
+
+/// Last-write-wins instantaneous value.
+class Gauge {
+ public:
+  void set(double v) { value_.store(v, std::memory_order_relaxed); }
+  double value() const { return value_.load(std::memory_order_relaxed); }
+  void reset() { value_.store(0.0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<double> value_{0.0};
+};
+
+/// Sample distribution with count/sum/min/max and p50/p95/p99.
+///
+/// Keeps up to `max_samples` raw samples for percentile estimation; once
+/// full, new samples overwrite the oldest slot (ring buffer), so
+/// percentiles over very long streams are computed from a recent window
+/// while count/sum/min/max stay exact.
+class Histo {
+ public:
+  static constexpr std::size_t kDefaultMaxSamples = 8192;
+
+  explicit Histo(std::size_t max_samples = kDefaultMaxSamples)
+      : max_samples_(max_samples ? max_samples : 1) {}
+
+  void add(double x);
+
+  struct Snapshot {
+    std::uint64_t count = 0;
+    double sum = 0.0;
+    double min = 0.0;
+    double max = 0.0;
+    double mean = 0.0;
+    double p50 = 0.0;
+    double p95 = 0.0;
+    double p99 = 0.0;
+  };
+  Snapshot snapshot() const;
+
+  void reset();
+
+ private:
+  mutable std::mutex mu_;
+  std::uint64_t count_ = 0;
+  double sum_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+  std::vector<double> samples_;
+  std::size_t max_samples_;
+};
+
+/// Named metric store. Metric objects live as long as the registry and
+/// their addresses are stable, so callers may cache the returned pointers
+/// (the recording macros rely on this). reset() zeroes values in place
+/// without invalidating pointers.
+class MetricsRegistry {
+ public:
+  Counter* counter(std::string_view name);
+  Gauge* gauge(std::string_view name);
+  Histo* histogram(std::string_view name);
+
+  /// Serializes the registry as one JSON object:
+  ///   {"counters":{...},"gauges":{...},
+  ///    "histograms":{name:{count,sum,min,max,mean,p50,p95,p99}}}
+  /// Keys are sorted, so output is deterministic for a given state.
+  void to_json(std::ostream& out) const;
+
+  /// Zeroes every metric in place; cached pointers remain valid.
+  void reset();
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges_;
+  std::map<std::string, std::unique_ptr<Histo>, std::less<>> histograms_;
+};
+
+/// The process-wide registry the recording macros feed.
+MetricsRegistry& default_registry();
+
+}  // namespace dsp::obs
+
+#define DSP_OBS_CONCAT_INNER(a, b) a##b
+#define DSP_OBS_CONCAT(a, b) DSP_OBS_CONCAT_INNER(a, b)
+
+#ifndef DSP_OBS_DISABLED
+
+/// Adds `n` to the named counter in the default registry.
+#define DSP_COUNT_N(name, n)                                          \
+  do {                                                                \
+    static ::dsp::obs::Counter* DSP_OBS_CONCAT(_dsp_obs_c, __LINE__) = \
+        ::dsp::obs::default_registry().counter(name);                 \
+    DSP_OBS_CONCAT(_dsp_obs_c, __LINE__)->add(n);                     \
+  } while (0)
+
+/// Sets the named gauge in the default registry.
+#define DSP_GAUGE_SET(name, v)                                        \
+  do {                                                                \
+    static ::dsp::obs::Gauge* DSP_OBS_CONCAT(_dsp_obs_g, __LINE__) =  \
+        ::dsp::obs::default_registry().gauge(name);                   \
+    DSP_OBS_CONCAT(_dsp_obs_g, __LINE__)->set(v);                     \
+  } while (0)
+
+/// Records one sample into the named histogram in the default registry.
+#define DSP_OBSERVE(name, v)                                          \
+  do {                                                                \
+    static ::dsp::obs::Histo* DSP_OBS_CONCAT(_dsp_obs_h, __LINE__) =  \
+        ::dsp::obs::default_registry().histogram(name);               \
+    DSP_OBS_CONCAT(_dsp_obs_h, __LINE__)->add(v);                     \
+  } while (0)
+
+#else  // DSP_OBS_DISABLED: recording compiles to nothing.
+
+#define DSP_COUNT_N(name, n) do {} while (0)
+#define DSP_GAUGE_SET(name, v) do {} while (0)
+#define DSP_OBSERVE(name, v) do {} while (0)
+
+#endif  // DSP_OBS_DISABLED
+
+#define DSP_COUNT(name) DSP_COUNT_N(name, 1)

@@ -1,0 +1,31 @@
+// Chrome trace-event exporter.
+//
+// Converts a TimelineRecorder's slot intervals plus scheduler rounds,
+// preemption epochs and job completions into the Trace Event Format that
+// chrome://tracing (and https://ui.perfetto.dev) load directly: one JSON
+// object with a "traceEvents" array, one event per line (JSONL-style
+// inside the array, so the file also greps/streams well).
+//
+// Mapping:
+//   pid        = cluster node (with a process_name metadata record), plus
+//                one extra pid (node_count) for cluster-wide instants
+//   tid        = slot lane within the node (greedy interval packing, so
+//                concurrent tasks of a multi-slot node land on separate rows)
+//   "X" events = run / overhead / hoard intervals (ts/dur in microseconds,
+//                matching SimTime's unit)
+//   "i" events = scheduling rounds, preemption epochs, job completions
+#pragma once
+
+#include <iosfwd>
+
+#include "sim/recorder.h"
+
+namespace dsp::obs {
+
+/// Writes the whole recorded run as a chrome://tracing-loadable trace.
+/// `node_count` sizes the per-node process metadata (pass
+/// engine.node_count()).
+void write_chrome_trace(std::ostream& out, const TimelineRecorder& recorder,
+                        std::size_t node_count);
+
+}  // namespace dsp::obs

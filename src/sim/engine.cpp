@@ -4,6 +4,8 @@
 #include <cassert>
 #include <chrono>
 
+#include "obs/metrics.h"
+#include "obs/profiler.h"
 #include "util/log.h"
 
 namespace dsp {
@@ -138,6 +140,7 @@ RunMetrics Engine::run() {
   assert(!ran_ && "Engine::run may be called once");
   ran_ = true;
   const auto wall_start = std::chrono::steady_clock::now();
+  std::uint64_t events_processed = 0;
 
   while (!events_.empty()) {
     const Event e = events_.top();
@@ -150,6 +153,7 @@ RunMetrics Engine::run() {
     }
     assert(e.time >= now_);
     now_ = e.time;
+    ++events_processed;
     switch (e.kind) {
       case EventKind::kArrival: on_arrival(static_cast<JobId>(e.gid)); break;
       case EventKind::kPeriod: on_period(); break;
@@ -174,7 +178,35 @@ RunMetrics Engine::run() {
   metrics_.sim_wall_s =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - wall_start)
           .count();
+  DSP_COUNT_N("engine.events", events_processed);
+  DSP_COUNT("engine.runs");
+  DSP_OBSERVE("engine.run_s", metrics_.sim_wall_s);
   return metrics_;
+}
+
+void Engine::record_preempt_decision(obs::PreemptDecision d) {
+  d.time = now_;
+  ++metrics_.preempt_evaluations;
+  switch (d.outcome) {
+    case obs::PreemptOutcome::kFired:
+      // The successful try_preempt already counted metrics_.preemptions.
+      DSP_COUNT("preempt.fired");
+      break;
+    case obs::PreemptOutcome::kSuppressedPP:
+      ++metrics_.suppressed_preemptions;
+      DSP_COUNT("preempt.suppressed_pp");
+      break;
+    case obs::PreemptOutcome::kBlockedByDependency:
+      ++metrics_.preempt_blocked_dependency;
+      DSP_COUNT("preempt.blocked_c2");
+      break;
+    case obs::PreemptOutcome::kNoVictim:
+      ++metrics_.preempt_no_victim;
+      DSP_COUNT("preempt.no_victim");
+      break;
+  }
+  if (audit_) audit_->record(d);
+  if (observer_) observer_->on_preempt_decision(d);
 }
 
 void Engine::on_arrival(JobId job) { pending_jobs_.push_back(job); }
@@ -363,7 +395,11 @@ void Engine::on_period() {
   if (!pending_jobs_.empty()) {
     std::vector<JobId> pending;
     pending.swap(pending_jobs_);
-    const auto placements = scheduler_.schedule(pending, *this);
+    std::vector<TaskPlacement> placements;
+    {
+      DSP_PROFILE("sched.round_s");
+      placements = scheduler_.schedule(pending, *this);
+    }
     if (observer_)
       observer_->on_schedule_round(now_, pending.size(), placements.size());
     apply_placements(placements, pending);
@@ -375,7 +411,11 @@ void Engine::on_period() {
 
 void Engine::on_epoch() {
   if (preempt_) {
-    preempt_->on_epoch(*this);
+    if (observer_) observer_->on_epoch(now_);
+    {
+      DSP_PROFILE("engine.epoch_s");
+      preempt_->on_epoch(*this);
+    }
     fill_all_slots();
     if (!all_jobs_finished())
       push_event(now_ + params_.epoch, EventKind::kEpoch, kInvalidGid, 0);

@@ -27,6 +27,7 @@
 #include <vector>
 
 #include "dag/job.h"
+#include "obs/audit.h"
 #include "sim/cluster.h"
 #include "sim/failures.h"
 #include "sim/observer.h"
@@ -74,6 +75,11 @@ class Engine {
   /// (timeline recording, invariant checking). Call before run().
   /// The engine does not own the observer.
   void set_observer(SimObserver* observer) { observer_ = observer; }
+
+  /// Attaches a preemption-decision audit trail: every Algorithm-1
+  /// evaluation reported via record_preempt_decision lands in `audit`.
+  /// Call before run(). The engine does not own the trail.
+  void set_audit(obs::PreemptionAuditTrail* audit) { audit_ = audit; }
 
   /// Installs a failure/straggler injection plan. Call before run().
   void set_failure_plan(const FailurePlan& plan);
@@ -223,7 +229,15 @@ class Engine {
 
   /// Records a preemption that was considered but suppressed (DSP's
   /// normalized-priority method reports these for Fig. 6(d) analysis).
+  /// Prefer record_preempt_decision, which also tallies this metric for
+  /// PreemptOutcome::kSuppressedPP.
   void note_suppressed_preemption() { ++metrics_.suppressed_preemptions; }
+
+  /// Records one Algorithm-1 candidate evaluation: stamps the current
+  /// engine time, tallies the per-outcome RunMetrics counters and the
+  /// observability registry, and forwards the record to the attached
+  /// audit trail and observer. Policies call this once per candidate.
+  void record_preempt_decision(obs::PreemptDecision d);
 
   /// Evicts a running task back to its node's waiting queue (checkpoint
   /// semantics apply). Counts as a preemption. Policies use this for
@@ -336,6 +350,7 @@ class Engine {
   PreemptionPolicy* preempt_;
   EngineParams params_;
   SimObserver* observer_ = nullptr;
+  obs::PreemptionAuditTrail* audit_ = nullptr;
 
   // Flat task indexing.
   std::vector<Gid> job_offset_;       // per job: first gid

@@ -10,6 +10,7 @@
 #include <cstddef>
 
 #include "dag/task.h"
+#include "obs/audit.h"
 #include "sim/types.h"
 #include "util/time.h"
 
@@ -58,6 +59,15 @@ class SimObserver {
                                  std::size_t placements) {
     (void)t; (void)jobs; (void)placements;
   }
+
+  /// An online-preemption epoch tick is about to run (fires only when a
+  /// preemption policy is installed).
+  virtual void on_epoch(SimTime t) { (void)t; }
+
+  /// The preemption policy evaluated one Algorithm-1 candidate; `d`
+  /// carries the priorities, the normalized gap and the outcome (see
+  /// obs/audit.h). Fired via Engine::record_preempt_decision.
+  virtual void on_preempt_decision(const obs::PreemptDecision& d) { (void)d; }
 
   /// Node `node` failed (its tasks were killed) or recovered.
   virtual void on_node_failure(SimTime t, int node, bool failed) {

@@ -75,9 +75,12 @@ void TimelineRecorder::on_job_complete(SimTime t, JobId j) {
   job_completions_.emplace_back(t, j);
 }
 
-void TimelineRecorder::on_schedule_round(SimTime, std::size_t, std::size_t) {
-  ++schedule_rounds_;
+void TimelineRecorder::on_schedule_round(SimTime t, std::size_t jobs,
+                                         std::size_t placements) {
+  rounds_.push_back({t, jobs, placements});
 }
+
+void TimelineRecorder::on_epoch(SimTime t) { epochs_.push_back(t); }
 
 std::vector<Interval> TimelineRecorder::intervals_for_task(Gid g) const {
   std::vector<Interval> result;

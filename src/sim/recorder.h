@@ -58,6 +58,7 @@ class TimelineRecorder : public SimObserver {
   void on_job_complete(SimTime t, JobId j) override;
   void on_schedule_round(SimTime t, std::size_t jobs,
                          std::size_t placements) override;
+  void on_epoch(SimTime t) override;
 
   /// All closed intervals, in completion order.
   const std::vector<Interval>& intervals() const { return intervals_; }
@@ -79,8 +80,22 @@ class TimelineRecorder : public SimObserver {
     return job_completions_;
   }
 
+  /// One offline scheduling round as observed via on_schedule_round.
+  struct ScheduleRound {
+    SimTime time = 0;
+    std::size_t jobs = 0;
+    std::size_t placements = 0;
+  };
+
   /// Number of scheduling rounds observed.
-  std::size_t schedule_rounds() const { return schedule_rounds_; }
+  std::size_t schedule_rounds() const { return rounds_.size(); }
+
+  /// Every scheduling round, in time order (the Chrome trace exporter
+  /// renders these as instant events).
+  const std::vector<ScheduleRound>& rounds() const { return rounds_; }
+
+  /// Every preemption epoch tick, in time order.
+  const std::vector<SimTime>& epochs() const { return epochs_; }
 
   /// Total productive seconds on a node.
   double busy_seconds_on_node(int node) const;
@@ -108,7 +123,8 @@ class TimelineRecorder : public SimObserver {
   std::vector<Interval> intervals_;
   std::vector<std::pair<SimTime, Gid>> finish_times_;
   std::vector<std::pair<SimTime, JobId>> job_completions_;
-  std::size_t schedule_rounds_ = 0;
+  std::vector<ScheduleRound> rounds_;
+  std::vector<SimTime> epochs_;
 };
 
 }  // namespace dsp

@@ -87,6 +87,17 @@ struct RunMetrics {
   /// Preemption attempts suppressed by DSP's normalized-priority check.
   std::uint64_t suppressed_preemptions = 0;
 
+  // ---- Preemption audit trail (Algorithm-1 outcomes, obs/audit.h) ----
+  /// Candidate evaluations recorded via Engine::record_preempt_decision.
+  /// Fired evaluations are counted by `preemptions`, PP suppressions by
+  /// `suppressed_preemptions`; the two fields below cover the rest.
+  std::uint64_t preempt_evaluations = 0;
+  /// Evaluations where every C1-viable victim failed C2 (the candidate
+  /// depends on it).
+  std::uint64_t preempt_blocked_dependency = 0;
+  /// Evaluations where no running task passed C1 at all.
+  std::uint64_t preempt_no_victim = 0;
+
   // ---- Fault injection (failures.h) ----
   std::uint64_t node_failures = 0;          ///< Outages that took effect.
   std::uint64_t tasks_killed_by_failure = 0;

@@ -1,9 +1,25 @@
 #include "util/log.h"
 
 #include <atomic>
+#include <chrono>
 #include <cstdarg>
 #include <cstdlib>
 #include <cstring>
+
+namespace dsp {
+
+const char* to_string(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug: return "DEBUG";
+    case LogLevel::kInfo: return "INFO";
+    case LogLevel::kWarn: return "WARN";
+    case LogLevel::kError: return "ERROR";
+    case LogLevel::kOff: return "OFF";
+  }
+  return "?";
+}
+
+}  // namespace dsp
 
 namespace dsp::log_detail {
 namespace {
@@ -23,15 +39,12 @@ std::atomic<LogLevel>& threshold_storage() {
   return level;
 }
 
-const char* level_name(LogLevel level) {
-  switch (level) {
-    case LogLevel::kDebug: return "DEBUG";
-    case LogLevel::kInfo: return "INFO";
-    case LogLevel::kWarn: return "WARN";
-    case LogLevel::kError: return "ERROR";
-    case LogLevel::kOff: return "OFF";
-  }
-  return "?";
+/// Monotonic seconds since the first log call (the process logging epoch).
+double elapsed_seconds() {
+  static const auto epoch = std::chrono::steady_clock::now();
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       epoch)
+      .count();
 }
 
 }  // namespace
@@ -42,13 +55,27 @@ void set_threshold(LogLevel level) {
   threshold_storage().store(level, std::memory_order_relaxed);
 }
 
+std::string format_line(LogLevel level, double elapsed_s,
+                        const char* message) {
+  char prefix[64];
+  std::snprintf(prefix, sizeof prefix, "[dsp %s +%.3fs] ", to_string(level),
+                elapsed_s);
+  std::string line = prefix;
+  line += message;
+  line += '\n';
+  return line;
+}
+
 void emit(LogLevel level, const char* fmt, ...) {
   char buf[1024];
   va_list args;
   va_start(args, fmt);
   std::vsnprintf(buf, sizeof buf, fmt, args);
   va_end(args);
-  std::fprintf(stderr, "[dsp %s] %s\n", level_name(level), buf);
+  // One fwrite per line: stdio locks the stream per call, so concurrent
+  // callers cannot interleave mid-line.
+  const std::string line = format_line(level, elapsed_seconds(), buf);
+  std::fwrite(line.data(), 1, line.size(), stderr);
 }
 
 }  // namespace dsp::log_detail

@@ -12,11 +12,21 @@ namespace dsp {
 
 enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
 
+/// Short upper-case tag for a level ("DEBUG", "INFO", ...).
+const char* to_string(LogLevel level);
+
 namespace log_detail {
 /// Current threshold; initialized from the DSP_LOG environment variable
 /// (debug|info|warn|error|off), defaulting to warn.
 LogLevel threshold();
 void set_threshold(LogLevel level);
+/// Formats one complete log line including the trailing newline:
+///   "[dsp LEVEL +T.TTTs] message\n"
+/// where T.TTT is `elapsed_s`, the monotonic seconds since logging
+/// started. Split out from emit() so it is unit-testable.
+std::string format_line(LogLevel level, double elapsed_s, const char* message);
+/// Formats and writes one line to stderr with a single fwrite, so lines
+/// from concurrent callers never interleave mid-line.
 void emit(LogLevel level, const char* fmt, ...) __attribute__((format(printf, 2, 3)));
 }  // namespace log_detail
 

@@ -2,7 +2,11 @@
 // the umbrella header.
 #include <gtest/gtest.h>
 
+#include <sstream>
+#include <stdexcept>
+
 #include "dsp.h"  // the umbrella header must compile standalone
+#include "obs/json.h"
 #include "test_util.h"
 #include "trace/workload.h"
 
@@ -75,6 +79,68 @@ TEST(JobRecordTest, ClassBreakdownTable) {
   EXPECT_NE(out.find("medium"), std::string::npos);
   EXPECT_NE(out.find("large"), std::string::npos);
   EXPECT_EQ(t.row_count(), 3u);
+}
+
+TEST(MetricSeriesTest, OutOfRangeIndicesThrow) {
+  MetricSeries series({"DSP", "Aalo"}, {150, 300});
+  RunMetrics m;
+  series.set(1, 1, m);  // in range
+  EXPECT_THROW(series.set(2, 0, m), std::out_of_range);
+  EXPECT_THROW(series.set(0, 2, m), std::out_of_range);
+  EXPECT_THROW(series.at(2, 0), std::out_of_range);
+  EXPECT_THROW(series.at(0, 2), std::out_of_range);
+  try {
+    series.at(5, 7);
+    FAIL() << "expected std::out_of_range";
+  } catch (const std::out_of_range& e) {
+    // The message names the offending indices and the grid shape.
+    const std::string what = e.what();
+    EXPECT_NE(what.find("method=5"), std::string::npos) << what;
+    EXPECT_NE(what.find("x=7"), std::string::npos) << what;
+    EXPECT_NE(what.find("2 methods"), std::string::npos) << what;
+  }
+}
+
+TEST(MetricSeriesTest, WritesParsableJson) {
+  MetricSeries series({"DSP"}, {150, 300}, "jobs");
+  RunMetrics m;
+  m.makespan = 10 * kSecond;
+  m.tasks_finished = 20;
+  series.set(0, 0, m);
+  m.tasks_finished = 40;
+  series.set(0, 1, m);
+
+  std::ostringstream os;
+  write_json(os, series);
+  obs::json::Value root;
+  std::string error;
+  ASSERT_TRUE(obs::json::parse(os.str(), root, &error)) << error;
+  EXPECT_EQ(root.at_path("x_label")->string, "jobs");
+  ASSERT_EQ(root.find("cells")->array.size(), 2u);
+  const auto& cell = root.find("cells")->array[0];
+  EXPECT_EQ(cell.find("method")->string, "DSP");
+  EXPECT_DOUBLE_EQ(cell.find("x")->number, 150.0);
+  EXPECT_DOUBLE_EQ(cell.at_path("metrics.makespan_s")->number, 10.0);
+  EXPECT_DOUBLE_EQ(cell.at_path("metrics.tasks_finished")->number, 20.0);
+}
+
+TEST(RunMetricsJsonTest, CarriesAuditCounters) {
+  RunMetrics m;
+  m.preemptions = 3;
+  m.suppressed_preemptions = 5;
+  m.preempt_evaluations = 11;
+  m.preempt_blocked_dependency = 2;
+  m.preempt_no_victim = 1;
+  std::ostringstream os;
+  write_json(os, m);
+  obs::json::Value root;
+  std::string error;
+  ASSERT_TRUE(obs::json::parse(os.str(), root, &error)) << error;
+  EXPECT_DOUBLE_EQ(root.at_path("preemptions")->number, 3.0);
+  EXPECT_DOUBLE_EQ(root.at_path("suppressed_preemptions")->number, 5.0);
+  EXPECT_DOUBLE_EQ(root.at_path("preempt_evaluations")->number, 11.0);
+  EXPECT_DOUBLE_EQ(root.at_path("preempt_blocked_dependency")->number, 2.0);
+  EXPECT_DOUBLE_EQ(root.at_path("preempt_no_victim")->number, 1.0);
 }
 
 TEST(TableIiTest, DefaultsMatchThePaper) {

@@ -1,0 +1,347 @@
+// Tests for the observability layer: metrics registry, histogram
+// percentiles, preemption audit trail (unit + engine integration),
+// Chrome trace export, the JSON parser, and the profiler macro.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <sstream>
+#include <thread>
+#include <vector>
+
+#include "core/dsp_system.h"
+#include "core/preemption.h"
+#include "obs/audit.h"
+#include "obs/json.h"
+#include "obs/metrics.h"
+#include "obs/profiler.h"
+#include "obs/trace_export.h"
+#include "sim/recorder.h"
+#include "test_util.h"
+#include "trace/workload.h"
+
+namespace dsp {
+namespace {
+
+EngineParams fast_params() {
+  EngineParams p;
+  p.period = 1 * kSecond;
+  p.epoch = 500 * kMillisecond;
+  return p;
+}
+
+JobSet contended_workload(std::size_t jobs, std::uint64_t seed) {
+  WorkloadConfig cfg;
+  cfg.job_count = jobs;
+  cfg.task_scale = 0.01;
+  cfg.cpu_max = 2.0;
+  cfg.mem_max = 1.8;
+  cfg.min_arrival_rate = 30.0;
+  cfg.max_arrival_rate = 40.0;
+  return WorkloadGenerator(cfg, seed).generate();
+}
+
+ClusterSpec tight_cluster() { return ClusterSpec::uniform(2, 1800.0, 2.0, 2); }
+
+// ---------------------------------------------------------------------
+// MetricsRegistry
+// ---------------------------------------------------------------------
+
+TEST(MetricsRegistryTest, CountersAndGauges) {
+  obs::MetricsRegistry reg;
+  obs::Counter* c = reg.counter("events");
+  c->add();
+  c->add(41);
+  EXPECT_EQ(c->value(), 42u);
+  // Same name resolves to the same object.
+  EXPECT_EQ(reg.counter("events"), c);
+
+  obs::Gauge* g = reg.gauge("load");
+  g->set(0.75);
+  EXPECT_DOUBLE_EQ(g->value(), 0.75);
+}
+
+TEST(MetricsRegistryTest, HistogramPercentilesOnKnownData) {
+  obs::Histo h;
+  for (int i = 1; i <= 100; ++i) h.add(i);
+  const auto s = h.snapshot();
+  EXPECT_EQ(s.count, 100u);
+  EXPECT_DOUBLE_EQ(s.sum, 5050.0);
+  EXPECT_DOUBLE_EQ(s.min, 1.0);
+  EXPECT_DOUBLE_EQ(s.max, 100.0);
+  EXPECT_DOUBLE_EQ(s.mean, 50.5);
+  // Linear interpolation over 100 sorted samples (same convention as
+  // util/stats): p = q * (n - 1).
+  EXPECT_NEAR(s.p50, 50.5, 1e-9);
+  EXPECT_NEAR(s.p95, 95.05, 1e-9);
+  EXPECT_NEAR(s.p99, 99.01, 1e-9);
+}
+
+TEST(MetricsRegistryTest, HistogramRingKeepsExactAggregates) {
+  obs::Histo h(/*max_samples=*/4);
+  for (int i = 1; i <= 10; ++i) h.add(i);
+  const auto s = h.snapshot();
+  // count/sum/min/max stay exact even though only 4 samples are retained.
+  EXPECT_EQ(s.count, 10u);
+  EXPECT_DOUBLE_EQ(s.sum, 55.0);
+  EXPECT_DOUBLE_EQ(s.min, 1.0);
+  EXPECT_DOUBLE_EQ(s.max, 10.0);
+  // Percentiles come from the retained window {7, 8, 9, 10}.
+  EXPECT_NEAR(s.p50, 8.5, 1e-9);
+}
+
+TEST(MetricsRegistryTest, ResetZeroesInPlaceWithoutInvalidatingPointers) {
+  obs::MetricsRegistry reg;
+  obs::Counter* c = reg.counter("c");
+  obs::Histo* h = reg.histogram("h");
+  c->add(5);
+  h->add(1.0);
+  reg.reset();
+  EXPECT_EQ(c->value(), 0u);
+  EXPECT_EQ(h->snapshot().count, 0u);
+  // The macro caches depend on stable addresses across reset().
+  EXPECT_EQ(reg.counter("c"), c);
+  EXPECT_EQ(reg.histogram("h"), h);
+}
+
+TEST(MetricsRegistryTest, ConcurrentRecordingIsSafe) {
+  obs::MetricsRegistry reg;
+  obs::Counter* c = reg.counter("hits");
+  obs::Histo* h = reg.histogram("lat");
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t)
+    threads.emplace_back([&] {
+      for (int i = 0; i < 10000; ++i) {
+        c->add();
+        h->add(1.0);
+      }
+    });
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(c->value(), 40000u);
+  EXPECT_EQ(h->snapshot().count, 40000u);
+  EXPECT_DOUBLE_EQ(h->snapshot().sum, 40000.0);
+}
+
+TEST(MetricsRegistryTest, JsonRoundTripsThroughParser) {
+  obs::MetricsRegistry reg;
+  reg.counter("hits")->add(3);
+  reg.gauge("load")->set(1.5);
+  reg.histogram("lat")->add(2.0);
+  std::ostringstream os;
+  reg.to_json(os);
+
+  obs::json::Value root;
+  std::string error;
+  ASSERT_TRUE(obs::json::parse(os.str(), root, &error)) << error;
+  const auto* hits = root.at_path("counters.hits");
+  ASSERT_NE(hits, nullptr);
+  EXPECT_DOUBLE_EQ(hits->number, 3.0);
+  const auto* load = root.at_path("gauges.load");
+  ASSERT_NE(load, nullptr);
+  EXPECT_DOUBLE_EQ(load->number, 1.5);
+  const auto* lat_count = root.at_path("histograms.lat.count");
+  ASSERT_NE(lat_count, nullptr);
+  EXPECT_DOUBLE_EQ(lat_count->number, 1.0);
+  const auto* lat_p50 = root.at_path("histograms.lat.p50");
+  ASSERT_NE(lat_p50, nullptr);
+  EXPECT_DOUBLE_EQ(lat_p50->number, 2.0);
+}
+
+TEST(JsonParserTest, RejectsMalformedInput) {
+  obs::json::Value v;
+  EXPECT_FALSE(obs::json::parse("{", v));
+  EXPECT_FALSE(obs::json::parse("{\"a\":1,}", v));
+  EXPECT_FALSE(obs::json::parse("[1, 2] trailing", v));
+  EXPECT_TRUE(obs::json::parse(" {\"a\": [1, true, null, \"x\"]} ", v));
+  ASSERT_NE(v.find("a"), nullptr);
+  EXPECT_EQ(v.find("a")->array.size(), 4u);
+}
+
+TEST(ProfilerTest, ScopedTimerFeedsHistogram) {
+  obs::Histo h;
+  {
+    obs::ScopedTimer timer(&h);
+  }
+  const auto s = h.snapshot();
+  EXPECT_EQ(s.count, 1u);
+  EXPECT_GE(s.min, 0.0);
+}
+
+TEST(ProfilerTest, ProfileMacroRecordsIntoDefaultRegistry) {
+  obs::Histo* h = obs::default_registry().histogram("test.profile_scope_s");
+  const auto before = h->snapshot().count;
+  {
+    DSP_PROFILE("test.profile_scope_s");
+  }
+  EXPECT_EQ(h->snapshot().count, before + 1);
+}
+
+// ---------------------------------------------------------------------
+// Preemption audit trail
+// ---------------------------------------------------------------------
+
+obs::PreemptDecision sample_decision(obs::PreemptOutcome outcome) {
+  obs::PreemptDecision d;
+  d.time = 1500000;
+  d.node = 2;
+  d.candidate = 7;
+  d.victim = outcome == obs::PreemptOutcome::kNoVictim ? kInvalidGid : Gid{3};
+  d.candidate_priority = 9.5;
+  d.victim_priority = 1.25;
+  d.normalized_gap = 4.0;
+  d.rho = 2.0;
+  d.delta = 0.35;
+  d.epsilon = 100000;
+  d.tau = 2000000;
+  d.outcome = outcome;
+  return d;
+}
+
+TEST(AuditTrailTest, CountsAndFiltersPerOutcome) {
+  obs::PreemptionAuditTrail trail;
+  trail.record(sample_decision(obs::PreemptOutcome::kFired));
+  trail.record(sample_decision(obs::PreemptOutcome::kFired));
+  trail.record(sample_decision(obs::PreemptOutcome::kSuppressedPP));
+  trail.record(sample_decision(obs::PreemptOutcome::kBlockedByDependency));
+  trail.record(sample_decision(obs::PreemptOutcome::kNoVictim));
+
+  EXPECT_EQ(trail.total(), 5u);
+  EXPECT_EQ(trail.count(obs::PreemptOutcome::kFired), 2u);
+  EXPECT_EQ(trail.count(obs::PreemptOutcome::kSuppressedPP), 1u);
+  EXPECT_EQ(trail.count(obs::PreemptOutcome::kBlockedByDependency), 1u);
+  EXPECT_EQ(trail.count(obs::PreemptOutcome::kNoVictim), 1u);
+  EXPECT_EQ(trail.with_outcome(obs::PreemptOutcome::kFired).size(), 2u);
+
+  trail.clear();
+  EXPECT_EQ(trail.total(), 0u);
+  EXPECT_EQ(trail.count(obs::PreemptOutcome::kFired), 0u);
+}
+
+TEST(AuditTrailTest, CsvHasHeaderAndOneRowPerDecision) {
+  obs::PreemptionAuditTrail trail;
+  trail.record(sample_decision(obs::PreemptOutcome::kSuppressedPP));
+  trail.record(sample_decision(obs::PreemptOutcome::kNoVictim));
+  std::ostringstream os;
+  trail.write_csv(os);
+  const std::string csv = os.str();
+
+  EXPECT_EQ(csv.find("time_us,node,candidate,victim,candidate_priority,"
+                     "victim_priority,normalized_gap,rho,delta,epsilon_us,"
+                     "tau_us,urgent,outcome"),
+            0u);
+  EXPECT_NE(csv.find("suppressed-pp"), std::string::npos);
+  EXPECT_NE(csv.find("no-victim"), std::string::npos);
+  // kInvalidGid victims print as "-".
+  EXPECT_NE(csv.find(",-,"), std::string::npos);
+  EXPECT_EQ(std::count(csv.begin(), csv.end(), '\n'), 3);  // header + 2 rows
+}
+
+TEST(AuditTrailTest, EngineIntegrationMatchesRunMetrics) {
+  DspPreemption policy;
+  DspScheduler sched;
+  Engine engine(tight_cluster(), contended_workload(8, 101), sched, &policy,
+                fast_params());
+  obs::PreemptionAuditTrail trail;
+  engine.set_audit(&trail);
+  const RunMetrics m = engine.run();
+
+  // Every Algorithm-1 evaluation lands in both the trail and RunMetrics.
+  EXPECT_EQ(trail.total(), m.preempt_evaluations);
+  EXPECT_EQ(trail.count(obs::PreemptOutcome::kFired), m.preemptions);
+  EXPECT_EQ(trail.count(obs::PreemptOutcome::kSuppressedPP),
+            m.suppressed_preemptions);
+  EXPECT_EQ(trail.count(obs::PreemptOutcome::kBlockedByDependency),
+            m.preempt_blocked_dependency);
+  EXPECT_EQ(trail.count(obs::PreemptOutcome::kNoVictim), m.preempt_no_victim);
+  EXPECT_GT(trail.total(), 0u);
+
+  // Records carry the parameters in effect and a sane shape.
+  for (const auto& d : trail.decisions()) {
+    EXPECT_GE(d.node, 0);
+    EXPECT_NE(d.candidate, kInvalidGid);
+    EXPECT_DOUBLE_EQ(d.rho, policy.params().rho);
+    if (d.outcome == obs::PreemptOutcome::kFired ||
+        d.outcome == obs::PreemptOutcome::kSuppressedPP) {
+      EXPECT_NE(d.victim, kInvalidGid);
+    }
+    if (d.outcome == obs::PreemptOutcome::kNoVictim) {
+      EXPECT_EQ(d.victim, kInvalidGid);
+    }
+  }
+}
+
+TEST(AuditTrailTest, SuppressionCountUnchangedByRecording) {
+  // The audit plumbing moved the suppression tally from
+  // note_suppressed_preemption() into record_preempt_decision(); a DSP
+  // run with PP disabled must record zero suppressions.
+  DspParams params;
+  params.normalized_pp = false;
+  DspPreemption policy(params);
+  DspScheduler sched;
+  Engine engine(tight_cluster(), contended_workload(8, 101), sched, &policy,
+                fast_params());
+  obs::PreemptionAuditTrail trail;
+  engine.set_audit(&trail);
+  const RunMetrics m = engine.run();
+  EXPECT_EQ(m.suppressed_preemptions, 0u);
+  EXPECT_EQ(trail.count(obs::PreemptOutcome::kSuppressedPP), 0u);
+}
+
+// ---------------------------------------------------------------------
+// Chrome trace export
+// ---------------------------------------------------------------------
+
+TEST(ChromeTraceTest, ExportsLoadableStructure) {
+  DspPreemption policy;
+  DspScheduler sched;
+  Engine engine(tight_cluster(), contended_workload(6, 77), sched, &policy,
+                fast_params());
+  TimelineRecorder recorder;
+  engine.set_observer(&recorder);
+  engine.run();
+  ASSERT_FALSE(recorder.intervals().empty());
+
+  std::ostringstream os;
+  obs::write_chrome_trace(os, recorder, engine.node_count());
+
+  obs::json::Value root;
+  std::string error;
+  ASSERT_TRUE(obs::json::parse(os.str(), root, &error)) << error;
+  const auto* unit = root.find("displayTimeUnit");
+  ASSERT_NE(unit, nullptr);
+  EXPECT_EQ(unit->string, "ms");
+  const auto* events = root.find("traceEvents");
+  ASSERT_NE(events, nullptr);
+  ASSERT_TRUE(events->is_array());
+
+  std::size_t complete = 0, metadata = 0, instants = 0;
+  for (const auto& e : events->array) {
+    const auto* ph = e.find("ph");
+    ASSERT_NE(ph, nullptr);
+    ASSERT_NE(e.find("pid"), nullptr);
+    if (ph->string == "X") {
+      ++complete;
+      // Complete events need name/tid/ts/dur; ts and dur are in
+      // microseconds == SimTime units.
+      EXPECT_NE(e.find("name"), nullptr);
+      EXPECT_NE(e.find("tid"), nullptr);
+      ASSERT_NE(e.find("ts"), nullptr);
+      ASSERT_NE(e.find("dur"), nullptr);
+      EXPECT_GE(e.find("dur")->number, 0.0);
+    } else if (ph->string == "M") {
+      ++metadata;
+      EXPECT_EQ(e.find("name")->string, "process_name");
+    } else if (ph->string == "i") {
+      ++instants;
+    }
+  }
+  // One interval event per recorded interval; one metadata record per
+  // node plus the cluster-instants pseudo-process.
+  EXPECT_EQ(complete, recorder.intervals().size());
+  EXPECT_EQ(metadata, engine.node_count() + 1);
+  // Scheduling rounds + epochs + job completions all become instants.
+  EXPECT_EQ(instants, recorder.rounds().size() + recorder.epochs().size() +
+                          recorder.job_completions().size());
+}
+
+}  // namespace
+}  // namespace dsp

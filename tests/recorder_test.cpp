@@ -1,0 +1,99 @@
+// Tests for TimelineRecorder's exports: CSV, the ASCII Gantt chart, and
+// the round/epoch bookkeeping the Chrome trace exporter relies on.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <sstream>
+
+#include "sim/recorder.h"
+#include "test_util.h"
+
+namespace dsp {
+namespace {
+
+using testing::make_independent_job;
+using testing::RoundRobinScheduler;
+
+EngineParams fast_params() {
+  EngineParams p;
+  p.period = 1 * kSecond;
+  p.epoch = 500 * kMillisecond;
+  return p;
+}
+
+/// One small run with the recorder attached.
+TimelineRecorder record_run(std::size_t node_count = 2) {
+  JobSet jobs;
+  jobs.push_back(make_independent_job(0, 4, 1000.0, 0, 60 * kSecond));
+  RoundRobinScheduler sched;
+  Engine engine(ClusterSpec::uniform(node_count, 1800.0, 2.0, 2),
+                std::move(jobs), sched, nullptr, fast_params());
+  TimelineRecorder recorder;
+  engine.set_observer(&recorder);
+  engine.run();
+  return recorder;
+}
+
+TEST(RecorderCsvTest, HeaderAndOneRowPerInterval) {
+  const TimelineRecorder recorder = record_run();
+  ASSERT_FALSE(recorder.intervals().empty());
+
+  std::ostringstream os;
+  recorder.write_csv(os);
+  const std::string csv = os.str();
+
+  EXPECT_EQ(csv.find("task,node,kind,begin_us,end_us,outcome\n"), 0u);
+  const auto rows = static_cast<std::size_t>(
+      std::count(csv.begin(), csv.end(), '\n'));
+  EXPECT_EQ(rows, recorder.intervals().size() + 1);  // header + intervals
+  EXPECT_NE(csv.find(",run,"), std::string::npos);
+  EXPECT_NE(csv.find("finished"), std::string::npos);
+}
+
+TEST(RecorderCsvTest, RowsMatchIntervalFields) {
+  const TimelineRecorder recorder = record_run();
+  std::ostringstream os;
+  recorder.write_csv(os);
+  std::istringstream in(os.str());
+  std::string line;
+  std::getline(in, line);  // header
+  for (const auto& iv : recorder.intervals()) {
+    ASSERT_TRUE(std::getline(in, line));
+    std::ostringstream expect;
+    expect << iv.task << ',' << iv.node << ',' << to_string(iv.kind) << ','
+           << iv.begin << ',' << iv.end;
+    EXPECT_EQ(line.rfind(expect.str(), 0), 0u) << line;
+  }
+}
+
+TEST(RecorderGanttTest, OneRowPerNodeWithMarks) {
+  const TimelineRecorder recorder = record_run(2);
+  const std::string gantt = recorder.render_gantt(2, 40);
+
+  EXPECT_NE(gantt.find("node  0 |"), std::string::npos);
+  EXPECT_NE(gantt.find("node  1 |"), std::string::npos);
+  // Productive work shows up as '#'.
+  EXPECT_NE(gantt.find('#'), std::string::npos);
+  // Footer carries the time span.
+  EXPECT_NE(gantt.find(".."), std::string::npos);
+}
+
+TEST(RecorderGanttTest, EmptyTimelineRenders) {
+  const TimelineRecorder recorder;
+  EXPECT_EQ(recorder.render_gantt(3), "(empty timeline)\n");
+}
+
+TEST(RecorderRoundsTest, RecordsRoundsAndEpochs) {
+  const TimelineRecorder recorder = record_run();
+  // The engine fires at least the initial scheduling round, and epochs
+  // tick every 500 ms while work is pending.
+  ASSERT_FALSE(recorder.rounds().empty());
+  EXPECT_EQ(recorder.schedule_rounds(), recorder.rounds().size());
+  for (std::size_t i = 1; i < recorder.rounds().size(); ++i)
+    EXPECT_GE(recorder.rounds()[i].time, recorder.rounds()[i - 1].time);
+  for (std::size_t i = 1; i < recorder.epochs().size(); ++i)
+    EXPECT_GT(recorder.epochs()[i], recorder.epochs()[i - 1]);
+}
+
+}  // namespace
+}  // namespace dsp

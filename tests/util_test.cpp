@@ -8,6 +8,7 @@
 
 #include "util/csv.h"
 #include "util/env.h"
+#include "util/log.h"
 #include "util/rng.h"
 #include "util/stats.h"
 #include "util/table.h"
@@ -338,6 +339,41 @@ TEST(EnvTest, MalformedFallsBack) {
   EXPECT_DOUBLE_EQ(env_double("DSP_TEST_ENV_Z", 9.0), 9.0);
   EXPECT_EQ(env_int("DSP_TEST_ENV_Z", 9), 9);
   ::unsetenv("DSP_TEST_ENV_Z");
+}
+
+// ---------------------------------------------------------------------
+// Logging
+// ---------------------------------------------------------------------
+
+TEST(LogTest, FormatLineHasTagTimestampAndNewline) {
+  EXPECT_EQ(log_detail::format_line(LogLevel::kWarn, 1.5, "disk full"),
+            "[dsp WARN +1.500s] disk full\n");
+  EXPECT_EQ(log_detail::format_line(LogLevel::kDebug, 0.0, ""),
+            "[dsp DEBUG +0.000s] \n");
+  const std::string line =
+      log_detail::format_line(LogLevel::kError, 12.3456, "x");
+  // Millisecond precision on the monotonic stamp.
+  EXPECT_NE(line.find("+12.346s"), std::string::npos) << line;
+}
+
+TEST(LogTest, LevelNames) {
+  EXPECT_STREQ(to_string(LogLevel::kDebug), "DEBUG");
+  EXPECT_STREQ(to_string(LogLevel::kInfo), "INFO");
+  EXPECT_STREQ(to_string(LogLevel::kWarn), "WARN");
+  EXPECT_STREQ(to_string(LogLevel::kError), "ERROR");
+  EXPECT_STREQ(to_string(LogLevel::kOff), "OFF");
+}
+
+TEST(LogTest, EnabledFollowsThreshold) {
+  const LogLevel saved = log_detail::threshold();
+  set_log_level(LogLevel::kWarn);
+  EXPECT_FALSE(log_enabled(LogLevel::kDebug));
+  EXPECT_FALSE(log_enabled(LogLevel::kInfo));
+  EXPECT_TRUE(log_enabled(LogLevel::kWarn));
+  EXPECT_TRUE(log_enabled(LogLevel::kError));
+  set_log_level(LogLevel::kOff);
+  EXPECT_FALSE(log_enabled(LogLevel::kError));
+  set_log_level(saved);
 }
 
 // ---------------------------------------------------------------------

@@ -1,0 +1,54 @@
+// json_check: validates a JSON file and (optionally) that a list of
+// dot-separated paths exist in it. Exit 0 on success, 1 on failure.
+//
+// Used by the bench_json_smoke CTest to verify that `fig5_makespan
+// --json out.json` writes a well-formed report with the documented
+// schema (see bench/bench_common.h BenchJsonReport).
+//
+//   json_check <file.json> [path ...]
+//   json_check out.json bench env.scale series registry.counters
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "obs/json.h"
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    std::fprintf(stderr, "usage: %s <file.json> [dotted.path ...]\n",
+                 argv[0]);
+    return 1;
+  }
+
+  std::ifstream in(argv[1]);
+  if (!in) {
+    std::fprintf(stderr, "json_check: cannot open %s\n", argv[1]);
+    return 1;
+  }
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  const std::string text = buf.str();
+
+  dsp::obs::json::Value root;
+  std::string error;
+  if (!dsp::obs::json::parse(text, root, &error)) {
+    std::fprintf(stderr, "json_check: %s: parse error: %s\n", argv[1],
+                 error.c_str());
+    return 1;
+  }
+
+  int missing = 0;
+  for (int i = 2; i < argc; ++i) {
+    if (!root.at_path(argv[i])) {
+      std::fprintf(stderr, "json_check: %s: missing path %s\n", argv[1],
+                   argv[i]);
+      ++missing;
+    }
+  }
+  if (missing) return 1;
+
+  std::printf("json_check: %s OK (%d path%s checked)\n", argv[1], argc - 2,
+              argc - 2 == 1 ? "" : "s");
+  return 0;
+}
