@@ -1,0 +1,68 @@
+// Schedule constraint check pass (rules S000-S005).
+//
+// Verifies a solver-produced schedule — an IlpProblem instance plus a
+// placement (machine per task, start time per task, optional declared
+// makespan) — directly against the paper's §III ILP constraints without
+// running the engine:
+//   (4)  every completion <= L_MS                 -> S005
+//   (5)(8) non-overlap per single-task machine    -> S002
+//   (6)  per-task deadlines                       -> S003
+//   (7)  precedence along dependency edges        -> S001
+//   (9)-(11) valid machine assignment, start >= 0 -> S004
+// Completion times carry the model's preemption padding
+// n_preempt * recovery_s, exactly as build_ilp_model encodes them.
+//
+// The on-disk form is a JSON document (read/write below), the contract
+// between solver and executor:
+//   {"machines": [mips...], "recovery_s": 0.3, "makespan_s": 12.5,
+//    "tasks": [{"size_mi": 1e3, "deadline_s": 10.0, "parents": [0],
+//               "n_preempt": 0, "machine": 1, "start_s": 0.25}, ...]}
+// `deadline_s`, `parents`, `n_preempt` and `makespan_s` are optional.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "analysis/diagnostics.h"
+#include "core/ilp_model.h"
+
+namespace dsp::analysis {
+
+/// A schedule document: the instance and the solver's answer.
+struct ScheduleDoc {
+  IlpProblem problem;
+  std::vector<int> machine_of;   ///< Per task: machine index.
+  std::vector<double> start_s;   ///< Per task: start offset in seconds.
+  double makespan_s = 0.0;       ///< Declared L_MS; meaningful iff has_makespan.
+  bool has_makespan = false;
+
+  /// Completion time of `t` under the model: start + exec + padding.
+  /// Requires a valid machine assignment.
+  double completion_s(std::size_t t) const;
+};
+
+/// Converts a solved IlpScheduleResult into a checkable document.
+ScheduleDoc make_schedule_doc(const IlpProblem& problem,
+                              const IlpScheduleResult& result);
+
+/// Parses the JSON form. On failure returns false and stores a message.
+bool read_schedule_json(std::istream& in, ScheduleDoc& out, std::string* error);
+bool read_schedule_json(const std::string& path, ScheduleDoc& out,
+                        std::string* error);
+
+/// Writes the JSON form (the solver-to-executor handoff artifact).
+void write_schedule_json(std::ostream& out, const ScheduleDoc& doc);
+
+/// Options for check_schedule.
+struct ScheduleCheckOptions {
+  /// Absolute tolerance in seconds for time comparisons.
+  double time_tol_s = 1e-6;
+};
+
+/// Runs S001-S005 over the document, appending findings to `report`.
+/// Tasks failing S004 are excluded from the time-based rules (their
+/// completion is undefined).
+void check_schedule(const ScheduleDoc& doc, const ScheduleCheckOptions& options,
+                    Report& report);
+
+}  // namespace dsp::analysis

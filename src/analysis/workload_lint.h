@@ -1,0 +1,42 @@
+// Workload/DAG lint pass (rules W000-W005).
+//
+// Pre-run static checks over a workload: structural validity (cycles,
+// dangling parent references, sizes/demands/deadline ordering) plus two
+// feasibility lower bounds against a target cluster — a job whose
+// critical-path time on the *fastest* node already exceeds its deadline
+// (W003) can never meet it under any schedule (Eq. (2) is a lower bound on
+// constraint (6)), and a task whose demand fits no node (W004) can never be
+// placed at all.
+#pragma once
+
+#include <string>
+
+#include "analysis/diagnostics.h"
+#include "dag/job.h"
+#include "dag/validate.h"
+#include "sim/cluster.h"
+
+namespace dsp::analysis {
+
+/// Options for lint_workload.
+struct WorkloadLintOptions {
+  /// Cluster the feasibility rules (W003/W004) check against; when null
+  /// those rules are skipped (pure structural lint).
+  const ClusterSpec* cluster = nullptr;
+  /// DAG shape caps forwarded to validate_job (0 disables a cap).
+  DagLimits limits;
+};
+
+/// Runs W003-W005 over finalized jobs, appending findings to `report`.
+void lint_workload(const JobSet& jobs, const WorkloadLintOptions& options,
+                   Report& report);
+
+/// Loads a workload trace CSV for analysis. Loader failures become
+/// diagnostics instead of hard errors: cyclic graphs map to W001, parent
+/// references outside the job to W002, and everything else (I/O, malformed
+/// rows) to W000. Jobs that parsed cleanly are returned and can still be
+/// linted.
+JobSet load_workload_for_analysis(const std::string& path,
+                                  double reference_rate, Report& report);
+
+}  // namespace dsp::analysis

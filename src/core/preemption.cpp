@@ -47,6 +47,7 @@ obs::PreemptDecision DspPreemption::make_decision(int node, Gid w) const {
   d.delta = delta_;
   d.epsilon = params_.epsilon;
   d.tau = params_.tau;
+  d.pp = params_.normalized_pp;
   return d;
 }
 

@@ -1,7 +1,11 @@
 #include "obs/audit.h"
 
 #include <cstdio>
+#include <fstream>
 #include <ostream>
+#include <sstream>
+
+#include "obs/json.h"
 
 namespace dsp::obs {
 
@@ -13,6 +17,17 @@ const char* to_string(PreemptOutcome o) {
     case PreemptOutcome::kNoVictim: return "no-victim";
   }
   return "?";
+}
+
+bool parse_outcome(const std::string& s, PreemptOutcome& out) {
+  for (std::size_t i = 0; i < kPreemptOutcomeCount; ++i) {
+    const auto o = static_cast<PreemptOutcome>(i);
+    if (s == to_string(o)) {
+      out = o;
+      return true;
+    }
+  }
+  return false;
 }
 
 void PreemptionAuditTrail::record(const PreemptDecision& d) {
@@ -30,7 +45,7 @@ std::vector<PreemptDecision> PreemptionAuditTrail::with_outcome(
 
 void PreemptionAuditTrail::write_csv(std::ostream& out) const {
   out << "time_us,node,candidate,victim,candidate_priority,victim_priority,"
-         "normalized_gap,rho,delta,epsilon_us,tau_us,urgent,outcome\n";
+         "normalized_gap,rho,delta,epsilon_us,tau_us,urgent,pp,outcome\n";
   char buf[96];
   for (const auto& d : decisions_) {
     out << d.time << ',' << d.node << ',' << d.candidate << ',';
@@ -42,13 +57,173 @@ void PreemptionAuditTrail::write_csv(std::ostream& out) const {
                   d.candidate_priority, d.victim_priority, d.normalized_gap,
                   d.rho, d.delta);
     out << buf << d.epsilon << ',' << d.tau << ',' << (d.urgent ? 1 : 0) << ','
-        << to_string(d.outcome) << '\n';
+        << (d.pp ? 1 : 0) << ',' << to_string(d.outcome) << '\n';
   }
+}
+
+namespace {
+
+/// Shortest decimal representation that round-trips a double.
+void write_double(std::ostream& out, double v) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%.17g", v);
+  double parsed = 0.0;
+  if (std::sscanf(buf, "%lf", &parsed) == 1 && parsed == v) {
+    // Try progressively shorter forms; keep the first that round-trips.
+    for (int prec = 6; prec < 17; ++prec) {
+      char shorter[32];
+      std::snprintf(shorter, sizeof shorter, "%.*g", prec, v);
+      if (std::sscanf(shorter, "%lf", &parsed) == 1 && parsed == v) {
+        out << shorter;
+        return;
+      }
+    }
+  }
+  out << buf;
+}
+
+}  // namespace
+
+void PreemptionAuditTrail::write_json(std::ostream& out) const {
+  out << "{\n  \"audit\": {\"total\": " << decisions_.size()
+      << ", \"counts\": {";
+  for (std::size_t i = 0; i < kPreemptOutcomeCount; ++i) {
+    if (i) out << ", ";
+    out << '"' << to_string(static_cast<PreemptOutcome>(i))
+        << "\": " << counts_[i];
+  }
+  out << "}},\n  \"decisions\": [";
+  for (std::size_t i = 0; i < decisions_.size(); ++i) {
+    const PreemptDecision& d = decisions_[i];
+    out << (i ? ",\n    " : "\n    ");
+    out << "{\"time_us\": " << d.time << ", \"node\": " << d.node
+        << ", \"candidate\": " << d.candidate << ", \"victim\": ";
+    if (d.victim == kInvalidGid)
+      out << -1;
+    else
+      out << d.victim;
+    out << ", \"candidate_priority\": ";
+    write_double(out, d.candidate_priority);
+    out << ", \"victim_priority\": ";
+    write_double(out, d.victim_priority);
+    out << ", \"normalized_gap\": ";
+    write_double(out, d.normalized_gap);
+    out << ", \"rho\": ";
+    write_double(out, d.rho);
+    out << ", \"delta\": ";
+    write_double(out, d.delta);
+    out << ", \"epsilon_us\": " << d.epsilon << ", \"tau_us\": " << d.tau
+        << ", \"urgent\": " << (d.urgent ? "true" : "false") << ", \"pp\": "
+        << (d.pp ? "true" : "false") << ", \"outcome\": \""
+        << to_string(d.outcome) << "\"}";
+  }
+  out << "\n  ]\n}\n";
 }
 
 void PreemptionAuditTrail::clear() {
   decisions_.clear();
   counts_.fill(0);
+}
+
+namespace {
+
+/// Extracts a required member into `out`; returns false and sets `error`
+/// when the member is missing or has the wrong type.
+bool number_field(const json::Value& rec, const char* key, std::size_t index,
+                  double& out, std::string& error) {
+  const json::Value* v = rec.find(key);
+  if (!v || !v->is_number()) {
+    error = "decision " + std::to_string(index) + ": missing or non-numeric \"" +
+            key + "\"";
+    return false;
+  }
+  out = v->number;
+  return true;
+}
+
+bool bool_field(const json::Value& rec, const char* key, std::size_t index,
+                bool& out, std::string& error) {
+  const json::Value* v = rec.find(key);
+  if (!v || v->kind != json::Value::Kind::kBool) {
+    error = "decision " + std::to_string(index) + ": missing or non-boolean \"" +
+            key + "\"";
+    return false;
+  }
+  out = v->boolean;
+  return true;
+}
+
+}  // namespace
+
+AuditParseResult read_audit_json(std::istream& in) {
+  AuditParseResult result;
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  const std::string text = buf.str();
+
+  json::Value root;
+  std::string parse_error;
+  if (!json::parse(text, root, &parse_error)) {
+    result.error = "invalid JSON: " + parse_error;
+    return result;
+  }
+  const json::Value* decisions = root.find("decisions");
+  if (!decisions || !decisions->is_array()) {
+    result.error = "missing \"decisions\" array";
+    return result;
+  }
+  result.decisions.reserve(decisions->array.size());
+  for (std::size_t i = 0; i < decisions->array.size(); ++i) {
+    const json::Value& rec = decisions->array[i];
+    if (!rec.is_object()) {
+      result.error = "decision " + std::to_string(i) + ": not an object";
+      return result;
+    }
+    PreemptDecision d;
+    double time = 0, node = 0, candidate = 0, victim = 0, eps = 0, tau = 0;
+    if (!number_field(rec, "time_us", i, time, result.error) ||
+        !number_field(rec, "node", i, node, result.error) ||
+        !number_field(rec, "candidate", i, candidate, result.error) ||
+        !number_field(rec, "victim", i, victim, result.error) ||
+        !number_field(rec, "candidate_priority", i, d.candidate_priority,
+                      result.error) ||
+        !number_field(rec, "victim_priority", i, d.victim_priority,
+                      result.error) ||
+        !number_field(rec, "normalized_gap", i, d.normalized_gap,
+                      result.error) ||
+        !number_field(rec, "rho", i, d.rho, result.error) ||
+        !number_field(rec, "delta", i, d.delta, result.error) ||
+        !number_field(rec, "epsilon_us", i, eps, result.error) ||
+        !number_field(rec, "tau_us", i, tau, result.error) ||
+        !bool_field(rec, "urgent", i, d.urgent, result.error) ||
+        !bool_field(rec, "pp", i, d.pp, result.error))
+      return result;
+    d.time = static_cast<SimTime>(time);
+    d.node = static_cast<int>(node);
+    d.candidate = static_cast<Gid>(candidate);
+    d.victim = victim < 0 ? kInvalidGid : static_cast<Gid>(victim);
+    d.epsilon = static_cast<SimTime>(eps);
+    d.tau = static_cast<SimTime>(tau);
+    const json::Value* outcome = rec.find("outcome");
+    if (!outcome || !outcome->is_string() ||
+        !parse_outcome(outcome->string, d.outcome)) {
+      result.error =
+          "decision " + std::to_string(i) + ": missing or unknown \"outcome\"";
+      return result;
+    }
+    result.decisions.push_back(d);
+  }
+  return result;
+}
+
+AuditParseResult read_audit_json(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    AuditParseResult result;
+    result.error = "cannot open file: " + path;
+    return result;
+  }
+  return read_audit_json(in);
 }
 
 }  // namespace dsp::obs

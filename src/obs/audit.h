@@ -15,6 +15,7 @@
 #include <array>
 #include <cstdint>
 #include <iosfwd>
+#include <string>
 #include <vector>
 
 #include "sim/types.h"
@@ -34,6 +35,9 @@ inline constexpr std::size_t kPreemptOutcomeCount = 4;
 
 const char* to_string(PreemptOutcome o);
 
+/// Inverse of to_string; false when `s` names no outcome.
+bool parse_outcome(const std::string& s, PreemptOutcome& out);
+
 /// One Algorithm-1 evaluation record.
 struct PreemptDecision {
   SimTime time = 0;            ///< Engine time of the evaluation.
@@ -51,6 +55,7 @@ struct PreemptDecision {
   SimTime epsilon = 0;
   SimTime tau = 0;
   bool urgent = false;  ///< True for the urgent pass (t^a <= epsilon or t^w >= tau).
+  bool pp = false;      ///< True when the normalized-priority filter was enabled.
   PreemptOutcome outcome = PreemptOutcome::kNoVictim;
 };
 
@@ -72,8 +77,18 @@ class PreemptionAuditTrail {
 
   /// Writes the trail as CSV with a header row:
   ///   time_us,node,candidate,victim,candidate_priority,victim_priority,
-  ///   normalized_gap,rho,delta,epsilon_us,tau_us,urgent,outcome
+  ///   normalized_gap,rho,delta,epsilon_us,tau_us,urgent,pp,outcome
   void write_csv(std::ostream& out) const;
+
+  /// Writes the trail as JSON:
+  ///   {"audit": {"total": N, "counts": {"fired": n, ...}},
+  ///    "decisions": [{"time_us": ..., "node": ..., "candidate": ...,
+  ///      "victim": -1|gid, "candidate_priority": ..., "victim_priority": ...,
+  ///      "normalized_gap": ..., "rho": ..., "delta": ..., "epsilon_us": ...,
+  ///      "tau_us": ..., "urgent": bool, "pp": bool, "outcome": "fired"}]}
+  /// Doubles print with enough digits to round-trip through
+  /// read_audit_json bit-exactly.
+  void write_json(std::ostream& out) const;
 
   void clear();
 
@@ -81,5 +96,20 @@ class PreemptionAuditTrail {
   std::vector<PreemptDecision> decisions_;
   std::array<std::uint64_t, kPreemptOutcomeCount> counts_{};
 };
+
+/// Result of parsing an audit-trail JSON file.
+struct AuditParseResult {
+  std::vector<PreemptDecision> decisions;
+  std::string error;  ///< Empty on success.
+
+  bool ok() const { return error.empty(); }
+};
+
+/// Reads a trail previously written by write_json. Static analysis
+/// (src/analysis audit replay) and external tooling consume this; a
+/// malformed document or a record with missing/ill-typed fields yields a
+/// non-empty `error`.
+AuditParseResult read_audit_json(std::istream& in);
+AuditParseResult read_audit_json(const std::string& path);
 
 }  // namespace dsp::obs

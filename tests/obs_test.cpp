@@ -226,7 +226,7 @@ TEST(AuditTrailTest, CsvHasHeaderAndOneRowPerDecision) {
 
   EXPECT_EQ(csv.find("time_us,node,candidate,victim,candidate_priority,"
                      "victim_priority,normalized_gap,rho,delta,epsilon_us,"
-                     "tau_us,urgent,outcome"),
+                     "tau_us,urgent,pp,outcome"),
             0u);
   EXPECT_NE(csv.find("suppressed-pp"), std::string::npos);
   EXPECT_NE(csv.find("no-victim"), std::string::npos);

@@ -1,0 +1,92 @@
+#!/usr/bin/env bash
+# Full local CI: tier-1 build + tests, sanitizer presets, static lint,
+# and the dsp-analyze rule engine over the shipped fixtures.
+#
+# Stages (each skippable via DSP_CI_SKIP="stage1 stage2 ..."):
+#   tier1    cmake + build + full ctest in ./build
+#   asan     address/undefined preset: build + full ctest
+#   tsan     thread preset: build + the concurrency-focused tests
+#            (the rest of the suite is single-threaded; running it
+#            under TSan adds minutes, not coverage)
+#   lint     tools/lint.sh (clang-tidy or strict-warning fallback)
+#   analyze  dsp_analyze over examples/workloads and the analysis
+#            fixtures, with --json output validated by json_check
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+SKIP="${DSP_CI_SKIP:-}"
+
+skipped() { [[ " $SKIP " == *" $1 "* ]]; }
+banner() { echo; echo "==== ci: $1 ===="; }
+
+if ! skipped tier1; then
+  banner "tier1 build + tests"
+  cmake -B build -S . >/dev/null
+  cmake --build build -j
+  ctest --test-dir build --output-on-failure -j
+fi
+
+if ! skipped asan; then
+  banner "asan preset"
+  cmake --preset asan >/dev/null
+  cmake --build --preset asan -j
+  ctest --preset asan -j
+fi
+
+if ! skipped tsan; then
+  banner "tsan preset (concurrency tests)"
+  cmake --preset tsan >/dev/null
+  cmake --build --preset tsan -j
+  ctest --preset tsan -R 'thread_pool_stress_test|util_test'
+fi
+
+if ! skipped lint; then
+  banner "lint"
+  BUILD_DIR=build tools/lint.sh
+fi
+
+if ! skipped analyze; then
+  banner "dsp-analyze over fixtures"
+  ANALYZE=build/tools/dsp_analyze
+  JSON_CHECK=build/tools/json_check
+  tmp=$(mktemp -d)
+  trap 'rm -rf "$tmp"' EXIT
+
+  for f in examples/workloads/*.csv tests/fixtures/analysis/clean_workload.csv; do
+    echo "analyze workload $f"
+    "$ANALYZE" workload "$f" --json "$tmp/out.json" >/dev/null
+    "$JSON_CHECK" "$tmp/out.json" analyzer input.kind diagnostics summary.error
+  done
+  echo "analyze schedule tests/fixtures/analysis/clean_schedule.json"
+  "$ANALYZE" schedule tests/fixtures/analysis/clean_schedule.json \
+    --json "$tmp/out.json" >/dev/null
+  "$JSON_CHECK" "$tmp/out.json" analyzer summary.error
+  echo "analyze audit tests/fixtures/analysis/clean_audit.json"
+  "$ANALYZE" audit tests/fixtures/analysis/clean_audit.json \
+    --workload tests/fixtures/analysis/audit_workload.csv \
+    --json "$tmp/out.json" >/dev/null
+  "$JSON_CHECK" "$tmp/out.json" analyzer summary.error
+
+  # Seeded-violation fixtures must fail with exactly their rule.
+  declare -A seeded=(
+    [workload]="w000_malformed.csv:W000 w001_cycle.csv:W001 w002_bad_parent.csv:W002 w003_tight_deadline.csv:W003 w004_oversized_demand.csv:W004 w005_invalid_structure.csv:W005"
+    [schedule]="s000_malformed.json:S000 s001_dependency_order.json:S001 s002_node_overlap.json:S002 s003_deadline_violation.json:S003 s004_unplaced_task.json:S004 s005_makespan_understated.json:S005"
+    [audit]="p000_malformed.json:P000 p001_monotonicity.json:P001 p002_priority_gap.json:P002 p003_dependency_on_victim.json:P003 p004_rho_normalization.json:P004"
+  )
+  for mode in workload schedule audit; do
+    for pair in ${seeded[$mode]}; do
+      file="tests/fixtures/analysis/${pair%%:*}"
+      rule="${pair##*:}"
+      extra=""
+      [ "$mode" = audit ] && extra="--workload tests/fixtures/analysis/audit_workload.csv"
+      if "$ANALYZE" "$mode" "$file" $extra --rules "$rule" >"$tmp/seed.txt" 2>&1; then
+        echo "ci: $file unexpectedly analyzed clean (wanted $rule)"; exit 1
+      fi
+      grep -q "$rule" "$tmp/seed.txt" || { echo "ci: $file did not report $rule"; exit 1; }
+      echo "seeded $rule ok ($file)"
+    done
+  done
+fi
+
+echo
+echo "==== ci: all stages passed ===="

@@ -1,0 +1,51 @@
+#!/usr/bin/env bash
+# Static lint for src/ and tools/. Uses clang-tidy (.clang-tidy profile)
+# when installed; otherwise falls back to a strict-warning GCC pass over
+# every translation unit, which catches the overlap of the profile that
+# GCC can see (override hygiene, shadowing, dangerous conversions).
+#
+# Usage: tools/lint.sh [build-dir]          (default: build)
+# Also invoked by the dsp_lint CMake target with BUILD_DIR exported.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+BUILD_DIR="${BUILD_DIR:-${1:-build}}"
+
+sources=$(find src tools -name '*.cpp' | sort)
+
+if command -v clang-tidy >/dev/null 2>&1; then
+  if [ ! -f "$BUILD_DIR/compile_commands.json" ]; then
+    cmake -B "$BUILD_DIR" -S . -DCMAKE_EXPORT_COMPILE_COMMANDS=ON >/dev/null
+  fi
+  echo "lint: clang-tidy over $(echo "$sources" | wc -l) files"
+  # shellcheck disable=SC2086
+  clang-tidy -p "$BUILD_DIR" --quiet $sources
+  echo "lint: clean"
+  exit 0
+fi
+
+echo "lint: clang-tidy not found; strict-warning GCC fallback"
+CXX="${CXX:-g++}"
+WARNINGS=(
+  -Wall -Wextra -Werror
+  -Wshadow
+  -Wnon-virtual-dtor
+  -Woverloaded-virtual
+  -Wsuggest-override
+  -Wcast-qual
+  -Wdouble-promotion
+  -Wformat=2
+  -Wimplicit-fallthrough
+  -Wno-error=double-promotion
+)
+status=0
+for f in $sources; do
+  if ! "$CXX" -std=c++20 -fsyntax-only "${WARNINGS[@]}" -Isrc "$f"; then
+    echo "lint: $f FAILED"
+    status=1
+  fi
+done
+if [ "$status" -eq 0 ]; then
+  echo "lint: clean"
+fi
+exit "$status"
