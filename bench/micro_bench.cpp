@@ -1,8 +1,21 @@
 // google-benchmark micro-benchmarks for the hot paths: DAG analytics,
 // priority computation, simplex pivoting, workload generation, and raw
 // simulator event throughput.
+//
+// Supports `--json <path>` (in addition to the standard benchmark
+// flags): per-benchmark real times are captured and written through
+// BenchJsonReport as scalars named `<bench>_<args>_ns`, which is how the
+// committed BENCH_hotpath.json baseline is produced:
+//   micro_bench --benchmark_filter='BM_Simplex|BM_Priority|BM_ComputeAll' \
+//               --json bench/BENCH_hotpath.json
 #include <benchmark/benchmark.h>
 
+#include <cstdio>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "bench_common.h"
 #include "core/dsp_scheduler.h"
 #include "core/dsp_system.h"
 #include "core/priority.h"
@@ -92,6 +105,26 @@ void BM_SimplexSolve(benchmark::State& state) {
 }
 BENCHMARK(BM_SimplexSolve)->Arg(10)->Arg(30)->Arg(60);
 
+void BM_SimplexSolveFlat(benchmark::State& state) {
+  // Sparse model (~25% density) — the shape the flat tableau's
+  // zero-coefficient skip and candidate-list pricing are built for.
+  const int n = static_cast<int>(state.range(0));
+  Rng rng(43);
+  lp::Model m;
+  for (int v = 0; v < n; ++v) m.add_var(0.0, 10.0, rng.uniform(-5.0, 5.0));
+  for (int c = 0; c < n; ++c) {
+    lp::LinearExpr e;
+    e.add(c, rng.uniform(0.5, 3.0));  // anchor: no empty rows
+    for (int v = 0; v < n; ++v)
+      if (v != c && rng.uniform(0.0, 1.0) < 0.25)
+        e.add(v, rng.uniform(0.5, 3.0));
+    m.add_constraint(std::move(e), lp::Sense::kLe, rng.uniform(5.0, 20.0));
+  }
+  lp::SimplexSolver solver;
+  for (auto _ : state) benchmark::DoNotOptimize(solver.solve(m));
+}
+BENCHMARK(BM_SimplexSolveFlat)->Arg(10)->Arg(30)->Arg(60)->Arg(120);
+
 void BM_PriorityComputeJob(benchmark::State& state) {
   // Full engine context so waiting/remaining queries are realistic.
   JobSet jobs;
@@ -116,6 +149,63 @@ void BM_PriorityComputeJob(benchmark::State& state) {
 }
 BENCHMARK(BM_PriorityComputeJob)->Arg(100)->Arg(1000);
 
+/// Runs the benchmark loop against a live mid-run engine: a preemption
+/// policy that, on one chosen epoch, times repeated compute_all calls.
+/// cold=true invalidates the incremental cache before every call (full
+/// recompute); cold=false leaves all jobs clean, timing the incremental
+/// skip path a second same-epoch call takes.
+class ComputeAllBenchPolicy : public PreemptionPolicy {
+ public:
+  ComputeAllBenchPolicy(benchmark::State& state, bool cold)
+      : state_(state), cold_(cold), priority_(params_) {}
+  const char* name() const override { return "ComputeAllBench"; }
+
+  void on_epoch(Engine& engine) override {
+    if (++epoch_ != 5) return;  // mid-run: queues and running sets are live
+    std::vector<double> out;
+    const auto range = priority_.compute_all(engine, out);  // prime caches
+    for (auto _ : state_) {
+      if (cold_) priority_.invalidate();
+      benchmark::DoNotOptimize(priority_.compute_all(engine, out));
+    }
+    state_.SetItemsProcessed(state_.iterations() *
+                             static_cast<std::int64_t>(range.live_tasks));
+  }
+
+ private:
+  benchmark::State& state_;
+  const bool cold_;
+  DspParams params_;
+  DependencyPriority priority_;
+  int epoch_ = 0;
+};
+
+void compute_all_bench(benchmark::State& state, bool cold) {
+  WorkloadConfig cfg;
+  cfg.job_count = static_cast<std::size_t>(state.range(0));
+  cfg.task_scale = 0.02;
+  cfg.min_arrival_rate = 30.0;
+  cfg.max_arrival_rate = 50.0;
+  const JobSet jobs = WorkloadGenerator(cfg, 47).generate();
+  DspScheduler sched;
+  ComputeAllBenchPolicy policy(state, cold);
+  EngineParams ep;
+  ep.period = 1 * kSecond;
+  ep.epoch = 500 * kMillisecond;
+  Engine engine(ClusterSpec::ec2(6), jobs, sched, &policy, ep);
+  engine.run();
+}
+
+void BM_ComputeAllIncremental(benchmark::State& state) {
+  compute_all_bench(state, /*cold=*/false);
+}
+BENCHMARK(BM_ComputeAllIncremental)->Arg(20)->Arg(60);
+
+void BM_ComputeAllFullRecompute(benchmark::State& state) {
+  compute_all_bench(state, /*cold=*/true);
+}
+BENCHMARK(BM_ComputeAllFullRecompute)->Arg(20)->Arg(60);
+
 void BM_EndToEndSimulation(benchmark::State& state) {
   for (auto _ : state) {
     WorkloadConfig cfg;
@@ -131,7 +221,66 @@ void BM_EndToEndSimulation(benchmark::State& state) {
 }
 BENCHMARK(BM_EndToEndSimulation)->Arg(20)->Unit(benchmark::kMillisecond);
 
+// ---------------------------------------------------------------------
+// --json support
+// ---------------------------------------------------------------------
+
+/// Console reporter that also captures (name, adjusted real time) per
+/// completed run for the JSON baseline.
+class CapturingReporter : public benchmark::ConsoleReporter {
+ public:
+  void ReportRuns(const std::vector<Run>& report) override {
+    for (const Run& run : report) {
+      if (run.error_occurred || run.run_type != Run::RT_Iteration) continue;
+      // GetAdjustedRealTime is in the run's display unit; normalize to ns.
+      const double ns = run.GetAdjustedRealTime() * 1e9 /
+                        benchmark::GetTimeUnitMultiplier(run.time_unit);
+      captured.emplace_back(run.benchmark_name(), ns);
+    }
+    ConsoleReporter::ReportRuns(report);
+  }
+  std::vector<std::pair<std::string, double>> captured;
+};
+
+/// "BM_SimplexSolve/60" -> "BM_SimplexSolve_60": scalar keys must stay
+/// addressable by json_check's dotted paths.
+std::string scalar_key(std::string name) {
+  for (char& c : name)
+    if (c == '/' || c == '.' || c == ':') c = '_';
+  return name + "_ns";
+}
+
 }  // namespace
 }  // namespace dsp
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  // Extract --json <path> before benchmark::Initialize sees (and rejects)
+  // it; everything else passes through to the library.
+  std::string json_path;
+  std::vector<char*> args;
+  for (int i = 0; i < argc; ++i) {
+    if (std::string(argv[i]) == "--json") {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "micro_bench: --json requires a path\n");
+        return 2;
+      }
+      json_path = argv[++i];
+      continue;
+    }
+    args.push_back(argv[i]);
+  }
+  int filtered_argc = static_cast<int>(args.size());
+  benchmark::Initialize(&filtered_argc, args.data());
+
+  dsp::CapturingReporter reporter;
+  benchmark::RunSpecifiedBenchmarks(&reporter);
+  benchmark::Shutdown();
+
+  if (!json_path.empty()) {
+    dsp::bench::BenchJsonReport report("micro", dsp::bench::BenchEnv{});
+    for (const auto& [name, ns] : reporter.captured)
+      report.add_scalar(dsp::scalar_key(name), ns);
+    if (!report.write(json_path)) return 1;
+  }
+  return 0;
+}

@@ -3,33 +3,67 @@
 #include <algorithm>
 #include <cmath>
 
+#include "util/env.h"
 #include "util/log.h"
 
 namespace dsp {
 
+ThreadPool* DspPreemption::pool() {
+  if (resolved_threads_ == 0) {
+    const std::int64_t want =
+        params_.threads > 0 ? params_.threads : env_int("DSP_THREADS", 1);
+    resolved_threads_ = static_cast<int>(std::max<std::int64_t>(1, want));
+    if (resolved_threads_ > 1)
+      pool_ = std::make_unique<ThreadPool>(
+          static_cast<unsigned>(resolved_threads_));
+  }
+  return pool_.get();
+}
+
+void DspPreemption::collect_preemptable(const Engine& engine, int node,
+                                        std::vector<Gid>& out) const {
+  // Preemptable running tasks: suspending them for up to an epoch still
+  // leaves enough allowable waiting time to meet their deadline.
+  for (Gid r : engine.running(node))
+    if (engine.allowable_waiting_time(r) > engine.params().epoch)
+      out.push_back(r);
+  std::sort(out.begin(), out.end(), [this](Gid a, Gid b) {
+    return prio_at(a) != prio_at(b) ? prio_at(a) < prio_at(b) : a < b;
+  });
+}
+
 void DspPreemption::on_epoch(Engine& engine) {
   if (params_.straggler_mitigation) mitigate_stragglers(engine);
 
+  ThreadPool* workers = pool();
+  priority_.set_thread_pool(workers);
   const auto range = priority_.compute_all(engine, prio_);
   if (range.live_tasks == 0) return;
   const double pbar = range.mean_neighbor_gap();
 
+  // Victim collection reads only engine state and prio_, so the per-node
+  // scans fan out across the pool; the mutating passes below stay serial
+  // in ascending node order, which keeps Algorithm-1 semantics and the
+  // audit trail deterministic at any thread count.
+  const std::size_t nodes = engine.node_count();
+  victims_.resize(nodes);
+  auto collect = [&](std::size_t k) {
+    victims_[k].clear();
+    const auto node = static_cast<int>(k);
+    if (engine.waiting(node).empty()) return;
+    collect_preemptable(engine, node, victims_[k]);
+  };
+  if (workers != nullptr && nodes > 1) {
+    workers->parallel_for(nodes, collect);
+  } else {
+    for (std::size_t k = 0; k < nodes; ++k) collect(k);
+  }
+
   std::uint64_t considered = 0, preempted = 0;
-  std::vector<Gid> preemptable;
-  for (int node = 0; node < static_cast<int>(engine.node_count()); ++node) {
-    if (engine.waiting(node).empty()) continue;
-
-    // Preemptable running tasks: suspending them for up to an epoch still
-    // leaves enough allowable waiting time to meet their deadline.
-    preemptable.clear();
-    for (Gid r : engine.running(node))
-      if (engine.allowable_waiting_time(r) > engine.params().epoch)
-        preemptable.push_back(r);
+  for (std::size_t k = 0; k < nodes; ++k) {
+    std::vector<Gid>& preemptable = victims_[k];
     if (preemptable.empty()) continue;
-    std::sort(preemptable.begin(), preemptable.end(), [this](Gid a, Gid b) {
-      return prio_[a] != prio_[b] ? prio_[a] < prio_[b] : a < b;
-    });
-
+    const auto node = static_cast<int>(k);
     urgent_pass(engine, node, preemptable, pbar);
     const auto [c, p] = window_pass(engine, node, preemptable, pbar);
     considered += c;
@@ -42,7 +76,7 @@ obs::PreemptDecision DspPreemption::make_decision(int node, Gid w) const {
   obs::PreemptDecision d;
   d.node = node;
   d.candidate = w;
-  d.candidate_priority = w < prio_.size() ? prio_[w] : 0.0;
+  d.candidate_priority = prio_at(w);
   d.rho = params_.rho;
   d.delta = delta_;
   d.epsilon = params_.epsilon;
@@ -52,11 +86,11 @@ obs::PreemptDecision DspPreemption::make_decision(int node, Gid w) const {
 }
 
 void DspPreemption::urgent_pass(Engine& engine, int node,
-                                std::vector<Gid>& preemptable,
-                                double pbar) const {
-  // Snapshot: try_preempt mutates the waiting queue.
-  const std::vector<Gid> waiting = engine.waiting(node);
-  for (Gid w : waiting) {
+                                std::vector<Gid>& preemptable, double pbar) {
+  // Snapshot into the reusable buffer: try_preempt mutates the waiting
+  // queue, and a fresh vector per node per epoch is allocator churn.
+  engine.waiting_snapshot(node, waiting_scratch_);
+  for (Gid w : waiting_scratch_) {
     const TaskState s = engine.state(w);
     if (s != TaskState::kWaiting && s != TaskState::kSuspended) continue;
     if (!engine.is_ready(w)) continue;  // DSP never launches unready tasks
@@ -83,8 +117,8 @@ void DspPreemption::urgent_pass(Engine& engine, int node,
       if (res == PreemptResult::kOk) {
         d.outcome = obs::PreemptOutcome::kFired;
         d.victim = v;
-        d.victim_priority = prio_[v];
-        if (pbar > 0.0) d.normalized_gap = (prio_[w] - prio_[v]) / pbar;
+        d.victim_priority = prio_at(v);
+        if (pbar > 0.0) d.normalized_gap = (prio_at(w) - prio_at(v)) / pbar;
         preemptable.erase(it);
         break;
       }
@@ -99,15 +133,14 @@ void DspPreemption::urgent_pass(Engine& engine, int node,
 }
 
 std::pair<std::uint64_t, std::uint64_t> DspPreemption::window_pass(
-    Engine& engine, int node, std::vector<Gid>& preemptable,
-    double pbar) const {
-  const std::vector<Gid> waiting = engine.waiting(node);  // snapshot
+    Engine& engine, int node, std::vector<Gid>& preemptable, double pbar) {
+  engine.waiting_snapshot(node, waiting_scratch_);  // reusable snapshot
   const auto window = static_cast<std::size_t>(
-      std::ceil(delta_ * static_cast<double>(waiting.size())));
+      std::ceil(delta_ * static_cast<double>(waiting_scratch_.size())));
   std::uint64_t considered = 0, preempted = 0;
 
-  for (std::size_t i = 0; i < waiting.size() && i < window; ++i) {
-    const Gid w = waiting[i];
+  for (std::size_t i = 0; i < waiting_scratch_.size() && i < window; ++i) {
+    const Gid w = waiting_scratch_[i];
     const TaskState s = engine.state(w);
     if (s != TaskState::kWaiting && s != TaskState::kSuspended) continue;
     if (!engine.is_ready(w)) continue;
@@ -125,7 +158,7 @@ std::pair<std::uint64_t, std::uint64_t> DspPreemption::window_pass(
       }
       // C1: higher priority required. Victims are sorted ascending, so no
       // later victim can satisfy C1 either.
-      if (prio_[w] <= prio_[v]) break;
+      if (prio_at(w) <= prio_at(v)) break;
       // C2: never preempt a task the waiting task depends on.
       if (engine.depends_on(w, v)) {
         dep_blocked = true;
@@ -135,11 +168,11 @@ std::pair<std::uint64_t, std::uint64_t> DspPreemption::window_pass(
       // PP: the priority gap must exceed rho times the global mean
       // neighbor gap, or the context-switch cost outweighs the gain.
       if (params_.normalized_pp && pbar > 0.0) {
-        const double gap = prio_[w] - prio_[v];
+        const double gap = prio_at(w) - prio_at(v);
         if (gap / pbar <= params_.rho) {
           d.outcome = obs::PreemptOutcome::kSuppressedPP;
           d.victim = v;
-          d.victim_priority = prio_[v];
+          d.victim_priority = prio_at(v);
           d.normalized_gap = gap / pbar;
           break;  // later victims have higher priority -> smaller gaps
         }
@@ -149,8 +182,8 @@ std::pair<std::uint64_t, std::uint64_t> DspPreemption::window_pass(
         ++preempted;
         d.outcome = obs::PreemptOutcome::kFired;
         d.victim = v;
-        d.victim_priority = prio_[v];
-        if (pbar > 0.0) d.normalized_gap = (prio_[w] - prio_[v]) / pbar;
+        d.victim_priority = prio_at(v);
+        if (pbar > 0.0) d.normalized_gap = (prio_at(w) - prio_at(v)) / pbar;
         preemptable.erase(it);
         break;
       }

@@ -20,13 +20,16 @@
 // actually preempted (§IV-B).
 #pragma once
 
+#include <cassert>
 #include <cstdint>
+#include <memory>
 #include <vector>
 
 #include "core/params.h"
 #include "core/priority.h"
 #include "sim/engine.h"
 #include "sim/policy.h"
+#include "util/thread_pool.h"
 
 namespace dsp {
 
@@ -54,11 +57,10 @@ class DspPreemption : public PreemptionPolicy {
 
  private:
   void urgent_pass(Engine& engine, int node, std::vector<Gid>& preemptable,
-                   double pbar) const;
+                   double pbar);
   /// Returns {considered, preempted} counts for the adaptive controller.
   std::pair<std::uint64_t, std::uint64_t> window_pass(
-      Engine& engine, int node, std::vector<Gid>& preemptable,
-      double pbar) const;
+      Engine& engine, int node, std::vector<Gid>& preemptable, double pbar);
   /// Seeds an audit record for candidate `w` with the parameters in
   /// effect (rho/epsilon/tau and the current adapted delta).
   obs::PreemptDecision make_decision(int node, Gid w) const;
@@ -66,9 +68,30 @@ class DspPreemption : public PreemptionPolicy {
   /// Straggler mitigation: vacate degraded nodes and migrate their work.
   void mitigate_stragglers(Engine& engine) const;
 
+  /// Bounds-checked priority lookup: every gid handed to the passes must
+  /// be covered by the compute_all vector sized at the top of on_epoch.
+  double prio_at(Gid g) const {
+    assert(g < prio_.size());
+    return prio_[g];
+  }
+
+  /// Collects `node`'s preemptable running tasks (allowable waiting time
+  /// beyond the epoch) into `out`, sorted ascending by priority. Reads
+  /// engine and prio_ only — safe to fan out across nodes.
+  void collect_preemptable(const Engine& engine, int node,
+                           std::vector<Gid>& out) const;
+
+  /// Lazily resolves params_.threads (<= 0 reads DSP_THREADS, default 1)
+  /// and spins up the worker pool; nullptr when running serial.
+  ThreadPool* pool();
+
   DspParams params_;
   DependencyPriority priority_;
   std::vector<double> prio_;  // scratch, indexed by gid
+  std::vector<std::vector<Gid>> victims_;  // per-node scratch
+  std::vector<Gid> waiting_scratch_;       // per-pass snapshot buffer
+  int resolved_threads_ = 0;  // 0 = not yet resolved
+  std::unique_ptr<ThreadPool> pool_;
   double delta_;
 };
 

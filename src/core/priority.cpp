@@ -3,63 +3,118 @@
 #include <algorithm>
 
 #include "obs/profiler.h"
+#include "util/thread_pool.h"
 
 namespace dsp {
 
 double DependencyPriority::leaf_priority(const Engine& engine, Gid g) const {
-  const double t_rem = std::max(0.001, to_seconds(engine.remaining_time(g)));
   // Accumulated waiting (not just the current stretch): a task keeps the
   // priority it earned by waiting even while running, which stabilizes the
   // C1 comparison between waiting and running tasks.
-  const double t_w = engine.accumulated_wait_s(g);
-  const double t_a = to_seconds(engine.allowable_waiting_time(g));
-  return params_.omega1 / t_rem + params_.omega2 * t_w + params_.omega3 * t_a;
+  const Engine::LeafInputs in = engine.leaf_inputs(g);
+  const double t_rem = std::max(0.001, in.t_rem_s);
+  return params_.omega1 / t_rem + params_.omega2 * in.t_wait_s +
+         params_.omega3 * in.t_allow_s;
 }
 
-void DependencyPriority::compute_job(const Engine& engine, JobId job,
-                                     std::vector<double>& out) const {
+DependencyPriority::Range DependencyPriority::compute_job(
+    const Engine& engine, JobId job, std::vector<double>& out) const {
   const Job& j = engine.job(job);
   const TaskGraph& graph = j.graph();
-  const auto topo = graph.topo_order();
-  // Reverse topological order: every child's priority is ready before its
-  // parents aggregate it.
-  for (auto it = topo.rbegin(); it != topo.rend(); ++it) {
-    const TaskIndex t = *it;
-    const Gid g = engine.gid(job, t);
-    if (engine.state(g) == TaskState::kFinished) {
-      out[g] = 0.0;
-      continue;
-    }
+  const Gid base = engine.gid(job, 0);
+  // Zero the job's whole span first: finished tasks report priority 0
+  // without being walked.
+  std::fill(out.begin() + base, out.begin() + base + j.task_count(), 0.0);
+
+  Range range;
+  bool first = true;
+  const double g1 = params_.gamma + 1.0;
+  // Live tasks in reverse topological order: every child's priority is
+  // ready before its parents aggregate it; finished tasks are skipped
+  // wholesale.
+  for (const Gid g : engine.live_reverse_topo(job)) {
+    const auto t = static_cast<TaskIndex>(g - base);
     double sum = 0.0;
     bool has_live_child = false;
     for (TaskIndex c : graph.children(t)) {
-      const Gid cg = engine.gid(job, c);
+      const Gid cg = base + c;
       if (engine.state(cg) == TaskState::kFinished) continue;
       has_live_child = true;
-      sum += (params_.gamma + 1.0) * out[cg];
+      sum += g1 * out[cg];
     }
-    out[g] = has_live_child ? sum : leaf_priority(engine, g);
+    const double p = has_live_child ? sum : leaf_priority(engine, g);
+    out[g] = p;
+    if (engine.state(g) == TaskState::kUnscheduled) continue;
+    if (first || p < range.min_p) range.min_p = p;
+    if (first || p > range.max_p) range.max_p = p;
+    first = false;
+    ++range.live_tasks;
   }
+  return range;
 }
 
 DependencyPriority::Range DependencyPriority::compute_all(
     const Engine& engine, std::vector<double>& out) const {
   DSP_PROFILE("priority.compute_all_s");
-  out.assign(engine.total_task_count(), 0.0);
+  const std::size_t jobs = engine.job_count();
+  const std::size_t total = engine.total_task_count();
+  if (cache_engine_ != &engine || out.size() != total ||
+      job_version_.size() != jobs) {
+    out.assign(total, 0.0);
+    job_version_.assign(jobs, 0);  // engine versions start at 1: all dirty
+    job_range_.assign(jobs, Range{});
+    cache_now_ = kNoTime;
+    cache_engine_ = &engine;
+  }
+
+  // A job is clean when its version is unchanged AND simulated time has
+  // not advanced — t^w and t^a move with the clock even without events.
+  const SimTime now = engine.now();
+  const bool time_advanced = now != cache_now_;
+  dirty_jobs_.clear();
+  for (JobId j = 0; j < jobs; ++j) {
+    if (!engine.job_scheduled(j) || engine.job_finished(j)) {
+      if (job_range_[j].live_tasks != 0) {
+        // The job completed since the last call: zero its stale values.
+        const Gid base = engine.gid(j, 0);
+        std::fill(out.begin() + base,
+                  out.begin() + base + engine.job(j).task_count(), 0.0);
+        job_range_[j] = Range{};
+        job_version_[j] = engine.priority_version(j);
+      }
+      continue;
+    }
+    if (!time_advanced && job_version_[j] == engine.priority_version(j))
+      continue;
+    dirty_jobs_.push_back(j);
+  }
+
+  // Recompute dirty jobs. Each job touches only its own span of `out`
+  // and its own cache rows, so the fan-out is race-free; the serial path
+  // runs the identical per-job code, so results are bit-identical.
+  auto recompute = [&](std::size_t i) {
+    const JobId j = dirty_jobs_[i];
+    job_range_[j] = compute_job(engine, j, out);
+    job_version_[j] = engine.priority_version(j);
+  };
+  if (pool_ != nullptr && dirty_jobs_.size() > 1) {
+    pool_->parallel_for(dirty_jobs_.size(), recompute);
+  } else {
+    for (std::size_t i = 0; i < dirty_jobs_.size(); ++i) recompute(i);
+  }
+  cache_now_ = now;
+
+  // Deterministic merge in ascending job order.
   Range range;
   bool first = true;
-  for (JobId j = 0; j < engine.job_count(); ++j) {
+  for (JobId j = 0; j < jobs; ++j) {
     if (!engine.job_scheduled(j) || engine.job_finished(j)) continue;
-    compute_job(engine, j, out);
-    for (TaskIndex t = 0; t < engine.job(j).task_count(); ++t) {
-      const Gid g = engine.gid(j, t);
-      const TaskState s = engine.state(g);
-      if (s == TaskState::kFinished || s == TaskState::kUnscheduled) continue;
-      if (first || out[g] < range.min_p) range.min_p = out[g];
-      if (first || out[g] > range.max_p) range.max_p = out[g];
-      first = false;
-      ++range.live_tasks;
-    }
+    const Range& r = job_range_[j];
+    if (r.live_tasks == 0) continue;
+    if (first || r.min_p < range.min_p) range.min_p = r.min_p;
+    if (first || r.max_p > range.max_p) range.max_p = r.max_p;
+    first = false;
+    range.live_tasks += r.live_tasks;
   }
   return range;
 }

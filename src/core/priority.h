@@ -7,14 +7,25 @@
 // so tasks whose completion unlocks more downstream work — especially at
 // higher DAG levels — carry higher priority (the T_11 > T_6 > T_1 ordering
 // of Fig. 3).
+//
+// compute_all is incremental: each job's priorities are recomputed only
+// when the engine's per-job version counter moved or simulated time
+// advanced (t^w/t^a are time-varying), each recompute walks only the
+// job's live reverse-topological suffix (Engine::live_reverse_topo), and
+// when a ThreadPool is attached the per-job recomputes fan out across it.
+// Jobs are independent and the merge runs serially in job order, so the
+// result is bit-identical with and without threads.
 #pragma once
 
+#include <cstdint>
 #include <vector>
 
 #include "core/params.h"
 #include "sim/engine.h"
 
 namespace dsp {
+
+class ThreadPool;
 
 /// Computes Formula 12/13 priorities against live engine state.
 class DependencyPriority {
@@ -26,15 +37,9 @@ class DependencyPriority {
   /// time is clamped to >= 1 ms so 1/t_rem stays bounded.
   double leaf_priority(const Engine& engine, Gid g) const;
 
-  /// Computes priorities for every unfinished task of `job` into
-  /// `out[gid]` (out must be sized to engine.total_task_count()).
-  /// One reverse-topological pass: children before parents.
-  void compute_job(const Engine& engine, JobId job, std::vector<double>& out) const;
-
-  /// Computes priorities for all unfinished tasks of all scheduled,
-  /// unfinished jobs. Returns via `out`, and reports the min/max priority
-  /// over live (waiting/running/suspended) tasks plus their count, from
-  /// which the PP normalizer P-bar is derived.
+  /// Min/max priority over live (waiting/running/suspended/hoarding)
+  /// tasks plus their count, from which the PP normalizer P-bar is
+  /// derived.
   struct Range {
     double min_p = 0.0;
     double max_p = 0.0;
@@ -47,10 +52,42 @@ class DependencyPriority {
                             : 0.0;
     }
   };
+
+  /// Recomputes priorities for every unfinished task of `job` into
+  /// `out[gid]` (out must be sized to engine.total_task_count()). One
+  /// pass over the job's cached live reverse-topological order (children
+  /// before parents); the job's finished tasks read 0. Returns the job's
+  /// live Range.
+  Range compute_job(const Engine& engine, JobId job,
+                    std::vector<double>& out) const;
+
+  /// Computes priorities for all unfinished tasks of all scheduled,
+  /// unfinished jobs into `out` (resized to the gid domain) and returns
+  /// the global live Range. Incremental: clean jobs reuse their stored
+  /// values and Range; dirty jobs recompute, in parallel when a pool is
+  /// attached via set_thread_pool.
   Range compute_all(const Engine& engine, std::vector<double>& out) const;
+
+  /// Attaches (or detaches, with nullptr) the worker pool used to fan
+  /// out per-job recomputes. Results are bit-identical either way.
+  void set_thread_pool(ThreadPool* pool) { pool_ = pool; }
+
+  /// Drops all incremental state; the next compute_all recomputes every
+  /// job from scratch (the serial full-recompute reference path).
+  void invalidate() const { cache_engine_ = nullptr; }
 
  private:
   const DspParams& params_;
+  ThreadPool* pool_ = nullptr;
+
+  // Incremental-state cache, keyed to one engine instance. Rebuilt from
+  // scratch whenever compute_all sees a different engine (or a resized
+  // job set) than the previous call.
+  mutable const Engine* cache_engine_ = nullptr;
+  mutable SimTime cache_now_ = kNoTime;
+  mutable std::vector<std::uint64_t> job_version_;  // last computed version
+  mutable std::vector<Range> job_range_;            // last computed range
+  mutable std::vector<JobId> dirty_jobs_;           // scratch per call
 };
 
 }  // namespace dsp

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cassert>
 #include <cmath>
+#include <cstdint>
 #include <vector>
 
 #include "obs/profiler.h"
@@ -25,14 +26,24 @@ struct VarMap {
   double shift = 0.0; // model value = internal value + shift (pos part)
 };
 
-/// Dense simplex tableau with Bland's rule.
+/// Dense simplex tableau over a single flat row-major buffer.
+///
+/// Pricing is a two-tier scheme: a candidate list of attractively priced
+/// columns is refreshed by full scans and drained by most-negative-first
+/// (Dantzig) selection; a run of degenerate pivots switches to Bland's
+/// lowest-index rule until the objective moves again, which preserves the
+/// classic anti-cycling termination guarantee.
 class Tableau {
  public:
   // rows: m constraint rows in equality form (slack/artificials appended by
   // caller); the objective row is maintained separately.
-  Tableau(std::size_t m, std::size_t n) : m_(m), n_(n), a_(m, std::vector<double>(n, 0.0)), b_(m, 0.0), basis_(m, -1) {}
+  Tableau(std::size_t m, std::size_t n)
+      : m_(m), n_(n), a_(m * n, 0.0), b_(m, 0.0), basis_(m, -1) {
+    pivot_cols_.reserve(n_);
+  }
 
-  std::vector<std::vector<double>>& a() { return a_; }
+  double* row(std::size_t i) { return a_.data() + i * n_; }
+  const double* row(std::size_t i) const { return a_.data() + i * n_; }
   std::vector<double>& b() { return b_; }
   std::vector<int>& basis() { return basis_; }
   std::size_t rows() const { return m_; }
@@ -46,25 +57,24 @@ class Tableau {
                        int& budget) {
     // Reduced-cost row: z_j = cost_j - c_B^T B^-1 A_j, maintained densely.
     std::vector<double> z(n_);
-    double obj = 0.0;
-    compute_reduced_costs(cost, z, obj);
+    compute_reduced_costs(cost, z);
+
+    candidates_.clear();
+    int degenerate_streak = 0;
 
     while (budget-- > 0) {
-      // Bland: entering = lowest-index allowed column with z_j < -tol.
-      int enter = -1;
-      for (std::size_t j = 0; j < n_; ++j) {
-        if (allowed[j] && z[j] < -tol) {
-          enter = static_cast<int>(j);
-          break;
-        }
-      }
+      // Anti-cycling: after a run of non-improving pivots fall back to
+      // Bland's lowest-index rule, which cannot cycle.
+      const bool bland = degenerate_streak >= kBlandTrigger;
+      const int enter = bland ? price_bland(z, allowed, tol)
+                              : price_candidates(z, allowed, tol);
       if (enter < 0) return SolveStatus::kOptimal;
 
       // Ratio test; Bland tie-break on smallest basis variable index.
       int leave_row = -1;
       double best_ratio = 0.0;
       for (std::size_t i = 0; i < m_; ++i) {
-        const double aij = a_[i][static_cast<std::size_t>(enter)];
+        const double aij = row(i)[static_cast<std::size_t>(enter)];
         if (aij > tol) {
           const double ratio = b_[i] / aij;
           if (leave_row < 0 || ratio < best_ratio - tol ||
@@ -77,8 +87,9 @@ class Tableau {
       }
       if (leave_row < 0) return SolveStatus::kUnbounded;
 
+      degenerate_streak = best_ratio <= tol ? degenerate_streak + 1 : 0;
       pivot(static_cast<std::size_t>(leave_row), static_cast<std::size_t>(enter),
-            z);
+            &z);
     }
     return SolveStatus::kIterationLimit;
   }
@@ -99,18 +110,18 @@ class Tableau {
       if (basis_[i] < 0 || static_cast<std::size_t>(basis_[i]) < first_artificial)
         continue;
       int enter = -1;
+      const double* arow = row(i);
       for (std::size_t j = 0; j < first_artificial; ++j) {
-        if (std::abs(a_[i][j]) > tol) {
+        if (std::abs(arow[j]) > tol) {
           enter = static_cast<int>(j);
           break;
         }
       }
       if (enter >= 0) {
-        std::vector<double> dummy(n_, 0.0);
-        pivot(i, static_cast<std::size_t>(enter), dummy);
+        pivot(i, static_cast<std::size_t>(enter), nullptr);
       } else {
         // Redundant row: every structural coefficient is 0.
-        std::fill(a_[i].begin(), a_[i].end(), 0.0);
+        std::fill(row(i), row(i) + n_, 0.0);
         b_[i] = 0.0;
         basis_[i] = -1;
       }
@@ -118,51 +129,124 @@ class Tableau {
   }
 
  private:
-  void compute_reduced_costs(const std::vector<double>& cost,
-                             std::vector<double>& z, double& obj) const {
-    // y_i = cost of basic variable in row i; z_j = cost_j - sum_i y_i a_ij.
-    obj = 0.0;
-    std::vector<double> y(m_, 0.0);
-    for (std::size_t i = 0; i < m_; ++i) {
-      if (basis_[i] >= 0) {
-        y[i] = cost[static_cast<std::size_t>(basis_[i])];
-        obj += y[i] * b_[i];
+  /// Degenerate pivots tolerated before switching to Bland's rule.
+  static constexpr int kBlandTrigger = 24;
+  /// Candidate-list capacity: only this many attractively priced columns
+  /// are kept per full pricing scan.
+  static constexpr std::size_t kCandidateCap = 16;
+
+  /// Bland: entering = lowest-index allowed column with z_j < -tol.
+  int price_bland(const std::vector<double>& z, const std::vector<char>& allowed,
+                  double tol) const {
+    for (std::size_t j = 0; j < n_; ++j)
+      if (allowed[j] && z[j] < -tol) return static_cast<int>(j);
+    return -1;
+  }
+
+  /// Partial pricing: drain the candidate list most-negative-first,
+  /// re-checking each stored column against the current reduced costs and
+  /// refreshing the list with a full scan only when it runs dry.
+  int price_candidates(const std::vector<double>& z,
+                       const std::vector<char>& allowed, double tol) {
+    for (int attempt = 0; attempt < 2; ++attempt) {
+      int best = -1;
+      double best_z = -tol;
+      std::size_t keep = 0;
+      for (std::size_t c = 0; c < candidates_.size(); ++c) {
+        const std::size_t j = candidates_[c];
+        if (!allowed[j] || z[j] >= -tol) continue;  // stale: drop
+        candidates_[keep++] = j;
+        // Most negative wins; ties break on the lower column index, which
+        // keeps entering choices deterministic.
+        if (z[j] < best_z) {
+          best_z = z[j];
+          best = static_cast<int>(j);
+        }
       }
+      candidates_.resize(keep);
+      if (best >= 0) return best;
+      if (attempt == 0) refresh_candidates(z, allowed, tol);
     }
+    return -1;
+  }
+
+  /// Full scan collecting the `kCandidateCap` most negative reduced costs.
+  void refresh_candidates(const std::vector<double>& z,
+                          const std::vector<char>& allowed, double tol) {
+    candidates_.clear();
     for (std::size_t j = 0; j < n_; ++j) {
-      double dot = 0.0;
-      for (std::size_t i = 0; i < m_; ++i) dot += y[i] * a_[i][j];
-      z[j] = cost[j] - dot;
+      if (!allowed[j] || z[j] >= -tol) continue;
+      if (candidates_.size() < kCandidateCap) {
+        candidates_.push_back(j);
+        continue;
+      }
+      // Replace the least negative stored candidate when j beats it.
+      std::size_t worst = 0;
+      for (std::size_t c = 1; c < candidates_.size(); ++c)
+        if (z[candidates_[c]] > z[candidates_[worst]]) worst = c;
+      if (z[j] < z[candidates_[worst]]) candidates_[worst] = j;
     }
   }
 
-  void pivot(std::size_t row, std::size_t col, std::vector<double>& z) {
-    const double pivot_val = a_[row][col];
+  void compute_reduced_costs(const std::vector<double>& cost,
+                             std::vector<double>& z) const {
+    // z_j = cost_j - sum_i y_i a_ij with y_i the basic cost of row i.
+    // Accumulated row-major: one pass per row with a nonzero multiplier.
+    std::copy(cost.begin(), cost.end(), z.begin());
+    for (std::size_t i = 0; i < m_; ++i) {
+      if (basis_[i] < 0) continue;
+      const double y = cost[static_cast<std::size_t>(basis_[i])];
+      if (y == 0.0) continue;
+      const double* arow = row(i);
+      for (std::size_t j = 0; j < n_; ++j) z[j] -= y * arow[j];
+    }
+  }
+
+  /// Gauss-Jordan pivot on (row, col). `z` (when non-null) is updated in
+  /// place. Only the pivot row's nonzero columns are touched in the other
+  /// rows — the tableau stays sparse for long stretches of a solve, and
+  /// skipping structural zeros is where the flat layout pays off.
+  void pivot(std::size_t prow, std::size_t pcol, std::vector<double>* z) {
+    double* pr = row(prow);
+    const double pivot_val = pr[pcol];
     assert(std::abs(pivot_val) > 0.0);
     const double inv = 1.0 / pivot_val;
-    for (std::size_t j = 0; j < n_; ++j) a_[row][j] *= inv;
-    b_[row] *= inv;
-    a_[row][col] = 1.0;  // clean up rounding
+
+    // Scale the pivot row and collect its nonzero columns once.
+    pivot_cols_.clear();
+    for (std::size_t j = 0; j < n_; ++j) {
+      if (pr[j] == 0.0) continue;
+      pr[j] *= inv;
+      pivot_cols_.push_back(static_cast<std::uint32_t>(j));
+    }
+    b_[prow] *= inv;
+    pr[pcol] = 1.0;  // clean up rounding
+
     for (std::size_t i = 0; i < m_; ++i) {
-      if (i == row) continue;
-      const double factor = a_[i][col];
+      if (i == prow) continue;
+      double* ar = row(i);
+      const double factor = ar[pcol];
       if (factor == 0.0) continue;
-      for (std::size_t j = 0; j < n_; ++j) a_[i][j] -= factor * a_[row][j];
-      a_[i][col] = 0.0;
-      b_[i] -= factor * b_[row];
+      for (const std::uint32_t j : pivot_cols_) ar[j] -= factor * pr[j];
+      ar[pcol] = 0.0;
+      b_[i] -= factor * b_[prow];
     }
-    const double zfactor = z[col];
-    if (zfactor != 0.0) {
-      for (std::size_t j = 0; j < n_; ++j) z[j] -= zfactor * a_[row][j];
-      z[col] = 0.0;
+    if (z != nullptr) {
+      const double zfactor = (*z)[pcol];
+      if (zfactor != 0.0) {
+        for (const std::uint32_t j : pivot_cols_) (*z)[j] -= zfactor * pr[j];
+        (*z)[pcol] = 0.0;
+      }
     }
-    basis_[row] = static_cast<int>(col);
+    basis_[prow] = static_cast<int>(pcol);
   }
 
   std::size_t m_, n_;
-  std::vector<std::vector<double>> a_;
+  std::vector<double> a_;  // flat row-major: a_[i * n_ + j]
   std::vector<double> b_;
   std::vector<int> basis_;
+  std::vector<std::uint32_t> pivot_cols_;   // scratch: pivot row's nonzeros
+  std::vector<std::size_t> candidates_;     // partial-pricing candidate list
 };
 
 }  // namespace
@@ -252,8 +336,8 @@ Solution SimplexSolver::solve(const Model& model) const {
     std::size_t slack_at = n_struct;
     std::size_t art_at = first_art;
     for (std::size_t i = 0; i < m; ++i) {
-      auto& arow = tab.a()[i];
-      std::copy(rows[i].coeffs.begin(), rows[i].coeffs.end(), arow.begin());
+      double* arow = tab.row(i);
+      std::copy(rows[i].coeffs.begin(), rows[i].coeffs.end(), arow);
       tab.b()[i] = rows[i].rhs;
       switch (rows[i].sense) {
         case Sense::kLe:

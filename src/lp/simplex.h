@@ -1,8 +1,13 @@
 // Two-phase primal simplex over a dense tableau.
 //
 // Designed for the small-to-medium models the DSP ILP scheduler produces
-// (hundreds of variables/rows). Bland's anti-cycling rule guarantees
-// termination; an iteration cap guards against pathological inputs.
+// (hundreds of variables/rows). The tableau lives in one flat row-major
+// buffer (a single allocation; pivots stream contiguous memory), entering
+// columns are chosen by candidate-list partial pricing (full column scans
+// only when the list runs dry), and row updates touch only the pivot
+// row's nonzero columns. A run of degenerate pivots falls back to Bland's
+// anti-cycling rule, which guarantees termination; an iteration cap
+// guards against pathological inputs.
 //
 // General bounds are handled by translation: variables are shifted so the
 // working lower bound is 0, free variables are split into positive parts,

@@ -84,6 +84,7 @@ Engine::Engine(ClusterSpec cluster, JobSet jobs, Scheduler& scheduler,
   }
 
   job_rt_.resize(jobs_.size());
+  prio_cache_.resize(jobs_.size());
   for (std::size_t j = 0; j < jobs_.size(); ++j) {
     job_rt_[j].unfinished_tasks =
         static_cast<std::uint32_t>(jobs_[j].task_count());
@@ -128,6 +129,42 @@ SimTime Engine::waiting_time(Gid g) const {
       r.waiting_since != kNoTime)
     return now_ - r.waiting_since;
   return 0;
+}
+
+const std::vector<Gid>& Engine::live_reverse_topo(JobId j) const {
+  const JobPrioCache& c = prio_cache_[j];
+  if (!c.topo_valid) {
+    c.live_rtopo.clear();
+    const auto topo = jobs_[j].graph().topo_order();
+    const Gid base = job_offset_[j];
+    for (auto it = topo.rbegin(); it != topo.rend(); ++it) {
+      const Gid g = base + *it;
+      if (rt_[g].state != TaskState::kFinished) c.live_rtopo.push_back(g);
+    }
+    c.topo_valid = true;
+  }
+  return c.live_rtopo;
+}
+
+Engine::LeafInputs Engine::leaf_inputs(Gid g) const {
+  const TaskRt& r = rt_[g];
+  const Task& info = task_info(g);
+  double executed = r.executed_mi;
+  double wait_s = r.total_wait_s;
+  if (r.state == TaskState::kRunning) {
+    const SimTime worked = now_ - r.last_dispatch - r.current_overhead;
+    if (worked > 0) executed += to_seconds(worked) * node_rate(r.node);
+  } else if ((r.state == TaskState::kWaiting ||
+              r.state == TaskState::kSuspended) &&
+             r.waiting_since != kNoTime) {
+    wait_s += to_seconds(now_ - r.waiting_since);
+  }
+  const double rate = r.node >= 0 ? node_rate(r.node) : cluster_.mean_rate();
+  const double rem_mi = std::max(0.0, info.size_mi - executed);
+  // Round through SimTime exactly as remaining_time does, so the fused
+  // inputs are bit-identical to the three separate accessors.
+  const SimTime t_rem = from_seconds(rem_mi / rate);
+  return {to_seconds(t_rem), wait_s, to_seconds(info.deadline - now_ - t_rem)};
 }
 
 bool Engine::depends_on(Gid dependent, Gid precedent) const {
@@ -281,6 +318,9 @@ void Engine::on_node_event(std::size_t index) {
       }
       break;
   }
+  // Any node event can change the effective rate seen by tasks placed on
+  // the node (including waiting ones), shifting their t_rem.
+  touch_priority_all();
 }
 
 void Engine::rebase_running(int node) {
@@ -380,6 +420,7 @@ void Engine::replace_waiting_task(Gid g) {
       std::max(0.0, nodes_[static_cast<std::size_t>(old_node)].backlog_mi -
                         task_info(g).size_mi);
   r.node = best;
+  touch_priority(g);
   nodes_[static_cast<std::size_t>(best)].backlog_mi += task_info(g).size_mi;
   const auto key = std::make_pair(r.planned_start, g);
   auto& waiting = nodes_[static_cast<std::size_t>(best)].waiting;
@@ -494,6 +535,7 @@ void Engine::enqueue_waiting(int node, Gid g) {
     n.backlog_mi += task_info(g).size_mi;
   }
   r.waiting_since = now_;
+  touch_priority(g);
   const auto key = std::make_pair(r.planned_start, g);
   auto it = std::lower_bound(n.waiting.begin(), n.waiting.end(), key,
                              [this](Gid a, const std::pair<SimTime, Gid>& k) {
@@ -582,6 +624,7 @@ void Engine::start_hoarding(int node, Gid g) {
   }
   r.state = TaskState::kHoarding;
   ++r.token;
+  touch_priority(g);
   n.available -= task_info(g).demand;
   --n.free_slots;
   n.running.push_back(g);
@@ -601,6 +644,7 @@ void Engine::activate_hoarding(Gid g) {
   r.last_dispatch = now_;
   r.current_overhead = 0;
   ++r.token;
+  touch_priority(g);
   const double remaining = std::max(0.0, task_info(g).size_mi - r.executed_mi);
   const SimTime run_time =
       from_seconds(remaining / node_rate(r.node));
@@ -629,6 +673,7 @@ void Engine::on_hoard_timeout(Gid g, std::uint32_t token) {
                              });
   n.waiting.insert(it, g);
   r.waiting_since = now_;
+  touch_priority(g);
   if (observer_) observer_->on_hoard_evict(now_, g, node);
   fill_slots(node);
 }
@@ -658,6 +703,7 @@ void Engine::start_task(int node, Gid g, SimTime resume_overhead) {
   r.last_dispatch = now_;
   r.current_overhead = resume_overhead;
   ++r.token;
+  touch_priority(g);
   metrics_.overhead_s += to_seconds(resume_overhead);
 
   n.available -= task_info(g).demand;
@@ -760,6 +806,7 @@ bool Engine::migrate_task(Gid g, int to_node) {
       0.0,
       nodes_[static_cast<std::size_t>(from)].backlog_mi - task_info(g).size_mi);
   r.node = to_node;
+  touch_priority(g);
   dst.backlog_mi += task_info(g).size_mi;
   const auto key = std::make_pair(r.planned_start, g);
   auto it = std::lower_bound(dst.waiting.begin(), dst.waiting.end(), key,
@@ -781,6 +828,7 @@ void Engine::on_finish(Gid g, std::uint32_t token) {
   r.finish = now_;
   r.executed_mi = task_info(g).size_mi;
   ++r.token;
+  touch_priority_topo(g);
   n.busy_us += static_cast<double>(now_ - r.last_dispatch);
   n.available += task_info(g).demand;
   ++n.free_slots;

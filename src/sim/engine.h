@@ -170,6 +170,14 @@ class Engine {
   const std::vector<Gid>& waiting(int node) const {
     return nodes_[static_cast<std::size_t>(node)].waiting;
   }
+  /// Copies `node`'s waiting queue into `out` (cleared first). Policies
+  /// that mutate the queue while iterating (try_preempt requeues the
+  /// victim) snapshot into a reusable buffer instead of allocating a
+  /// fresh vector per node per epoch.
+  void waiting_snapshot(int node, std::vector<Gid>& out) const {
+    const auto& w = nodes_[static_cast<std::size_t>(node)].waiting;
+    out.assign(w.begin(), w.end());
+  }
   /// Tasks currently running on `node`.
   const std::vector<Gid>& running(int node) const {
     return nodes_[static_cast<std::size_t>(node)].running;
@@ -204,6 +212,38 @@ class Engine {
 
   /// Count of successful preemptions so far (for adaptive controllers).
   std::uint64_t preemptions_so_far() const { return metrics_.preemptions; }
+
+  // ------------------------------------------------------------------
+  // Incremental-priority support (core/priority.h).
+  // ------------------------------------------------------------------
+  /// Version counter of `job`'s priority inputs. Bumped on every event
+  /// that can change a Formula 12/13 priority of the job's tasks: state
+  /// transitions (start/suspend/finish/hoard), queue entries that reset
+  /// waiting clocks, migrations and node-rate changes. The priority
+  /// engine recomputes a job only when its stored version is stale (or
+  /// simulated time advanced, which moves every t^w/t^a input).
+  std::uint64_t priority_version(JobId j) const {
+    return prio_cache_[j].version;
+  }
+  /// The job's unfinished tasks in reverse topological order (children
+  /// before parents) as gids. Cached; rebuilt lazily after a task of the
+  /// job finishes. Mostly-finished jobs walk only their live suffix
+  /// instead of the whole DAG every epoch.
+  const std::vector<Gid>& live_reverse_topo(JobId j) const;
+
+  /// The three leaf-priority inputs of Formula 13, fused into one pass
+  /// over the task's runtime record (times in seconds):
+  ///   t_rem_s   remaining execution time at the assigned node's rate,
+  ///   t_wait_s  accumulated waiting time including the current stretch,
+  ///   t_allow_s allowable waiting time t^a = t^d - now - t^rem.
+  /// Bit-identical to composing remaining_time / accumulated_wait_s /
+  /// allowable_waiting_time, at a third of the lookups.
+  struct LeafInputs {
+    double t_rem_s;
+    double t_wait_s;
+    double t_allow_s;
+  };
+  LeafInputs leaf_inputs(Gid g) const;
 
   /// True once the offline scheduler has placed this job's tasks.
   bool job_scheduled(JobId j) const { return job_rt_[j].scheduled; }
@@ -307,6 +347,16 @@ class Engine {
     bool finished = false;
   };
 
+  /// Per-job bookkeeping for the incremental priority engine. The lazy
+  /// members are rebuilt inside const accessors; distinct jobs own
+  /// distinct entries, so parallel per-job priority computation never
+  /// races on them.
+  struct JobPrioCache {
+    std::uint64_t version = 1;            // see priority_version()
+    mutable std::vector<Gid> live_rtopo;  // unfinished tasks, reverse topo
+    mutable bool topo_valid = false;
+  };
+
   void push_event(SimTime t, EventKind kind, Gid gid, std::uint32_t token);
   void on_arrival(JobId job);
   void on_period();
@@ -344,6 +394,21 @@ class Engine {
   void complete_job(JobId j);
   bool all_jobs_finished() const { return finished_jobs_ == jobs_.size(); }
 
+  /// Marks `g`'s job dirty for the priority engine.
+  void touch_priority(Gid g) { ++prio_cache_[task_job_[g]].version; }
+  /// Same, plus invalidates the job's live-topo cache (a task finished).
+  void touch_priority_topo(Gid g) {
+    JobPrioCache& c = prio_cache_[task_job_[g]];
+    ++c.version;
+    c.topo_valid = false;
+  }
+  /// Marks every job dirty. Used for node events (fail/recover/speed
+  /// change): a node's effective rate moves t_rem for every task placed
+  /// on it, across jobs.
+  void touch_priority_all() {
+    for (JobPrioCache& c : prio_cache_) ++c.version;
+  }
+
   ClusterSpec cluster_;
   JobSet jobs_;
   Scheduler& scheduler_;
@@ -360,6 +425,7 @@ class Engine {
   std::vector<TaskRt> rt_;
   std::vector<NodeRt> nodes_;
   std::vector<JobRt> job_rt_;
+  std::vector<JobPrioCache> prio_cache_;
   std::vector<std::uint8_t> dispatch_excluded_;  // scratch for fill_slots
   std::vector<std::uint8_t> launch_blocked_;     // failed input checks
 

@@ -39,11 +39,40 @@ void ThreadPool::worker_loop() {
 
 void ThreadPool::parallel_for(std::size_t n,
                               const std::function<void(std::size_t)>& fn) {
+  if (n == 0) return;
+  const std::size_t workers = workers_.size();
+  if (workers <= 1 || n == 1) {
+    // Run inline: no queue traffic, and the single-worker pool behaves
+    // exactly like a plain loop.
+    for (std::size_t i = 0; i < n; ++i) fn(i);
+    return;
+  }
+  // Block distribution into ~4 chunks per worker: bounds per-task queue
+  // overhead while leaving slack for uneven chunk runtimes.
+  const std::size_t chunks = std::min(n, workers * 4);
+  const std::size_t base = n / chunks;
+  const std::size_t rem = n % chunks;
   std::vector<std::future<void>> futures;
-  futures.reserve(n);
-  for (std::size_t i = 0; i < n; ++i)
-    futures.push_back(submit([i, &fn] { fn(i); }));
-  for (auto& f : futures) f.get();
+  futures.reserve(chunks);
+  std::size_t begin = 0;
+  for (std::size_t c = 0; c < chunks; ++c) {
+    const std::size_t end = begin + base + (c < rem ? 1 : 0);
+    futures.push_back(submit([begin, end, &fn] {
+      for (std::size_t i = begin; i < end; ++i) fn(i);
+    }));
+    begin = end;
+  }
+  // Wait for every chunk before propagating, so `fn` (captured by
+  // reference) cannot dangle under a still-running chunk.
+  std::exception_ptr first;
+  for (auto& f : futures) {
+    try {
+      f.get();
+    } catch (...) {
+      if (!first) first = std::current_exception();
+    }
+  }
+  if (first) std::rethrow_exception(first);
 }
 
 }  // namespace dsp

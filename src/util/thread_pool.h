@@ -44,6 +44,11 @@ class ThreadPool {
   }
 
   /// Runs fn(i) for i in [0, n) across the pool and waits for completion.
+  /// Indices are dealt out in contiguous blocks (~4 per worker); with a
+  /// single worker (or n == 1) the loop runs inline on the caller. The
+  /// first exception thrown by fn is rethrown after all chunks finish.
+  /// Must not be called from a pool worker (the inner wait would deadlock
+  /// once every worker blocks).
   void parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn);
 
   /// Number of worker threads.

@@ -1,0 +1,186 @@
+// Determinism guarantees of the incremental/parallel epoch hot path:
+// priorities from the incremental compute_all (with and without a thread
+// pool) must be bit-identical to a serial full recompute, and the whole
+// preemption audit trail must be independent of the threads knob.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "core/dsp_scheduler.h"
+#include "core/preemption.h"
+#include "core/priority.h"
+#include "obs/audit.h"
+#include "sim/engine.h"
+#include "sim/failures.h"
+#include "trace/workload.h"
+#include "util/thread_pool.h"
+
+namespace dsp {
+namespace {
+
+WorkloadConfig contended_config(std::size_t job_count) {
+  WorkloadConfig cfg;
+  cfg.job_count = job_count;
+  cfg.task_scale = 0.01;
+  cfg.min_arrival_rate = 30.0;
+  cfg.max_arrival_rate = 50.0;
+  return cfg;
+}
+
+EngineParams fast_params() {
+  EngineParams p;
+  p.period = 1 * kSecond;
+  p.epoch = 500 * kMillisecond;
+  return p;
+}
+
+// ---------------------------------------------------------------------
+// Incremental + parallel compute_all vs serial full recompute
+// ---------------------------------------------------------------------
+
+/// Each epoch, computes priorities three ways — serial full recompute
+/// (invalidate() before every call), incremental, and incremental over a
+/// pool — plus a same-timestamp repeat that exercises the all-clean skip
+/// path, and requires exact equality across all of them.
+class DualProbe : public PreemptionPolicy {
+ public:
+  explicit DualProbe(const DspParams& params)
+      : reference_(params), incremental_(params), pooled_(params), pool_(3) {
+    pooled_.set_thread_pool(&pool_);
+  }
+  const char* name() const override { return "DualProbe"; }
+
+  void on_epoch(Engine& engine) override {
+    reference_.invalidate();  // force the full-recompute reference path
+    const auto r0 = reference_.compute_all(engine, ref_out_);
+    const auto r1 = incremental_.compute_all(engine, inc_out_);
+    const auto r2 = pooled_.compute_all(engine, pool_out_);
+    ++epochs;
+    // operator== on vector<double> is exact element equality; priorities
+    // are never NaN (t_rem is clamped), so this is bit-for-bit.
+    if (inc_out_ != ref_out_) ++incremental_mismatches;
+    if (pool_out_ != ref_out_) ++parallel_mismatches;
+    if (r1.min_p != r0.min_p || r1.max_p != r0.max_p ||
+        r1.live_tasks != r0.live_tasks)
+      ++range_mismatches;
+    if (r2.min_p != r0.min_p || r2.max_p != r0.max_p ||
+        r2.live_tasks != r0.live_tasks)
+      ++range_mismatches;
+    // Repeat at the same timestamp with no intervening events: every job
+    // is clean, so this must take the skip path and change nothing.
+    const auto r3 = incremental_.compute_all(engine, inc_out_);
+    if (inc_out_ != ref_out_ || r3.live_tasks != r0.live_tasks)
+      ++skip_path_mismatches;
+  }
+
+  int epochs = 0;
+  int incremental_mismatches = 0;
+  int parallel_mismatches = 0;
+  int range_mismatches = 0;
+  int skip_path_mismatches = 0;
+
+ private:
+  DependencyPriority reference_;
+  DependencyPriority incremental_;
+  DependencyPriority pooled_;
+  ThreadPool pool_;
+  std::vector<double> ref_out_;
+  std::vector<double> inc_out_;
+  std::vector<double> pool_out_;
+};
+
+TEST(DeterminismTest, IncrementalMatchesFullRecomputeBitwise) {
+  const JobSet jobs = WorkloadGenerator(contended_config(10), 311).generate();
+  DspScheduler sched;
+  DspParams params;
+  DualProbe probe(params);
+  Engine engine(ClusterSpec::ec2(4), jobs, sched, &probe, fast_params());
+  const RunMetrics m = engine.run();
+  EXPECT_EQ(m.tasks_finished, total_tasks(jobs));
+  ASSERT_GT(probe.epochs, 10);
+  EXPECT_EQ(probe.incremental_mismatches, 0);
+  EXPECT_EQ(probe.parallel_mismatches, 0);
+  EXPECT_EQ(probe.range_mismatches, 0);
+  EXPECT_EQ(probe.skip_path_mismatches, 0);
+}
+
+TEST(DeterminismTest, IncrementalMatchesFullRecomputeUnderNodeEvents) {
+  // Failures, slowdowns and recoveries change node rates out from under
+  // waiting tasks; the dirty-bit plumbing must invalidate those jobs too.
+  const JobSet jobs = WorkloadGenerator(contended_config(8), 313).generate();
+  DspScheduler sched;
+  DspParams params;
+  DualProbe probe(params);
+  const ClusterSpec cluster = ClusterSpec::ec2(4);
+  Engine engine(cluster, jobs, sched, &probe, fast_params());
+  FailurePlan plan = FailurePlan::random_outages(cluster, 4 * kHour, 0.5, 2.0, 317);
+  plan.add_slowdown(0, 10 * kSecond, 2 * kMinute, 0.5);
+  engine.set_failure_plan(plan);
+  engine.run();
+  ASSERT_GT(probe.epochs, 10);
+  EXPECT_EQ(probe.incremental_mismatches, 0);
+  EXPECT_EQ(probe.parallel_mismatches, 0);
+  EXPECT_EQ(probe.range_mismatches, 0);
+  EXPECT_EQ(probe.skip_path_mismatches, 0);
+}
+
+// ---------------------------------------------------------------------
+// Whole-run audit trail vs the threads knob
+// ---------------------------------------------------------------------
+
+struct RunResult {
+  RunMetrics metrics;
+  std::vector<obs::PreemptDecision> decisions;
+};
+
+RunResult run_dsp_with_threads(int threads) {
+  const JobSet jobs = WorkloadGenerator(contended_config(10), 331).generate();
+  DspParams params;
+  params.threads = threads;
+  DspScheduler sched;
+  DspPreemption policy(params);
+  Engine engine(ClusterSpec::ec2(4), jobs, sched, &policy, fast_params());
+  obs::PreemptionAuditTrail trail;
+  engine.set_audit(&trail);
+  RunResult r;
+  r.metrics = engine.run();
+  r.decisions = trail.decisions();
+  return r;
+}
+
+void expect_decisions_identical(const obs::PreemptDecision& a,
+                                const obs::PreemptDecision& b,
+                                std::size_t index) {
+  EXPECT_EQ(a.time, b.time) << index;
+  EXPECT_EQ(a.node, b.node) << index;
+  EXPECT_EQ(a.candidate, b.candidate) << index;
+  EXPECT_EQ(a.victim, b.victim) << index;
+  EXPECT_EQ(a.candidate_priority, b.candidate_priority) << index;
+  EXPECT_EQ(a.victim_priority, b.victim_priority) << index;
+  EXPECT_EQ(a.normalized_gap, b.normalized_gap) << index;
+  EXPECT_EQ(a.delta, b.delta) << index;
+  EXPECT_EQ(a.urgent, b.urgent) << index;
+  EXPECT_EQ(a.outcome, b.outcome) << index;
+}
+
+TEST(DeterminismTest, AuditTrailIdenticalAcrossThreadCounts) {
+  const RunResult serial = run_dsp_with_threads(1);
+  ASSERT_FALSE(serial.decisions.empty());
+  for (const int threads : {2, 4}) {
+    const RunResult parallel = run_dsp_with_threads(threads);
+    EXPECT_EQ(parallel.metrics.makespan, serial.metrics.makespan) << threads;
+    EXPECT_EQ(parallel.metrics.preemptions, serial.metrics.preemptions)
+        << threads;
+    EXPECT_EQ(parallel.metrics.tasks_finished, serial.metrics.tasks_finished)
+        << threads;
+    EXPECT_EQ(parallel.metrics.job_waiting_s, serial.metrics.job_waiting_s)
+        << threads;
+    ASSERT_EQ(parallel.decisions.size(), serial.decisions.size()) << threads;
+    for (std::size_t i = 0; i < serial.decisions.size(); ++i)
+      expect_decisions_identical(serial.decisions[i], parallel.decisions[i],
+                                 i);
+  }
+}
+
+}  // namespace
+}  // namespace dsp

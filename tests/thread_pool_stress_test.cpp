@@ -53,6 +53,56 @@ TEST(ThreadPoolStressTest, RepeatedParallelForChurn) {
   }
 }
 
+TEST(ThreadPoolStressTest, ParallelForEdgeSizes) {
+  ThreadPool pool(4);
+  std::atomic<int> calls{0};
+  pool.parallel_for(0, [&calls](std::size_t) {
+    calls.fetch_add(1, std::memory_order_relaxed);
+  });
+  EXPECT_EQ(calls.load(), 0);
+  pool.parallel_for(1, [&calls](std::size_t i) {
+    EXPECT_EQ(i, 0u);
+    calls.fetch_add(1, std::memory_order_relaxed);
+  });
+  EXPECT_EQ(calls.load(), 1);
+}
+
+TEST(ThreadPoolStressTest, ParallelForCoversEveryIndexOnce) {
+  // n far larger than the chunk count: the block distribution must still
+  // hit every index exactly once.
+  ThreadPool pool(3);
+  constexpr std::size_t kN = 10000;
+  std::vector<std::atomic<int>> hits(kN);
+  pool.parallel_for(kN, [&hits](std::size_t i) {
+    hits[i].fetch_add(1, std::memory_order_relaxed);
+  });
+  for (std::size_t i = 0; i < kN; ++i) EXPECT_EQ(hits[i].load(), 1) << i;
+}
+
+TEST(ThreadPoolStressTest, ParallelForPropagatesException) {
+  ThreadPool pool(4);
+  std::atomic<int> calls{0};
+  EXPECT_THROW(pool.parallel_for(256,
+                                 [&calls](std::size_t i) {
+                                   calls.fetch_add(
+                                       1, std::memory_order_relaxed);
+                                   if (i == 17)
+                                     throw std::runtime_error("boom");
+                                 }),
+               std::runtime_error);
+  EXPECT_GT(calls.load(), 0);
+  EXPECT_LE(calls.load(), 256);
+}
+
+TEST(ThreadPoolStressTest, SingleWorkerParallelForRunsInline) {
+  ThreadPool pool(1);
+  const std::thread::id caller = std::this_thread::get_id();
+  std::vector<std::thread::id> ids(8);
+  pool.parallel_for(
+      8, [&ids](std::size_t i) { ids[i] = std::this_thread::get_id(); });
+  for (const auto& id : ids) EXPECT_EQ(id, caller);
+}
+
 TEST(ThreadPoolStressTest, DestructionDrainsOutstandingTasks) {
   // The destructor promises to drain the queue before joining; every
   // submitted task must have executed once the pool is gone.

@@ -11,6 +11,8 @@
 #   lint     tools/lint.sh (clang-tidy or strict-warning fallback)
 #   analyze  dsp_analyze over examples/workloads and the analysis
 #            fixtures, with --json output validated by json_check
+#   bench-smoke  micro_bench hot-path benchmarks at a tiny min_time,
+#            with the --json report validated by json_check
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -37,7 +39,7 @@ if ! skipped tsan; then
   banner "tsan preset (concurrency tests)"
   cmake --preset tsan >/dev/null
   cmake --build --preset tsan -j
-  ctest --preset tsan -R 'thread_pool_stress_test|util_test'
+  ctest --preset tsan -R 'thread_pool_stress_test|util_test|determinism_test'
 fi
 
 if ! skipped lint; then
@@ -86,6 +88,22 @@ if ! skipped analyze; then
       echo "seeded $rule ok ($file)"
     done
   done
+fi
+
+if ! skipped bench-smoke; then
+  banner "bench smoke (micro_bench hot paths)"
+  # No EXIT trap here: the analyze stage may already own it.
+  smoke_tmp=$(mktemp -d)
+  build/bench/micro_bench \
+    --benchmark_filter='BM_Simplex|BM_PriorityComputeJob|BM_ComputeAll' \
+    --benchmark_min_time=0.05 \
+    --json "$smoke_tmp/micro.json"
+  build/tools/json_check "$smoke_tmp/micro.json" \
+    bench env.scale env.seed env.points series runs scalars \
+    scalars.BM_SimplexSolve_60_ns scalars.BM_PriorityComputeJob_1000_ns \
+    scalars.BM_ComputeAllIncremental_20_ns \
+    registry.counters registry.gauges registry.histograms
+  rm -rf "$smoke_tmp"
 fi
 
 echo
