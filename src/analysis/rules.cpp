@@ -60,6 +60,56 @@ constexpr RuleInfo kCatalog[] = {
      "the normalized-priority gate P-tilde > rho was applied incorrectly "
      "(fired below the gate, or suppressed above it)",
      "§IV-C normalized-priority preemption"},
+    // ---- Source determinism lint (dsp_tidy) ----------------------------
+    {"D000", "libc-random", Severity::kError,
+     "libc random source (rand/srand/srandom/drand48/...) — use util/rng's "
+     "seeded xoshiro engine",
+     "§V reproducibility"},
+    {"D001", "std-random-device", Severity::kError,
+     "std::random_device draws entropy from the OS; runs stop being "
+     "reproducible from a seed",
+     "§V reproducibility"},
+    {"D002", "wall-clock", Severity::kError,
+     "wall-clock read (time()/system_clock/...) outside the whitelisted "
+     "time/log utilities; simulation logic must use SimTime",
+     "§V reproducibility"},
+    {"D003", "unordered-iteration", Severity::kError,
+     "unordered_map/unordered_set in core/sim code: iteration order is "
+     "hash-seed dependent, so accumulation over it is nondeterministic",
+     "§IV Algorithm 1 determinism"},
+    {"D004", "thread-outside-pool", Severity::kError,
+     "std::thread/std::async spawned outside util/thread_pool; ad-hoc "
+     "threads bypass the pool's deterministic fan-out discipline",
+     "§IV Algorithm 1 determinism"},
+    {"D005", "std-random-engine", Severity::kError,
+     "<random> engine or distribution: outputs are not specified "
+     "bit-exactly across standard libraries — use util/rng",
+     "§V reproducibility"},
+    // ---- Source concurrency/robustness lint (dsp_tidy) -----------------
+    {"C000", "unguarded-global-state", Severity::kError,
+     "mutable file-scope state without a DSP_GUARDED_BY annotation (or "
+     "atomic/thread_local/const qualification)",
+     "-"},
+    {"C001", "io-under-lock", Severity::kError,
+     "blocking I/O or logging while a lock is held stalls every thread "
+     "contending for the mutex",
+     "-"},
+    {"C002", "raw-new-delete", Severity::kError,
+     "raw new/delete — use std::make_unique/containers (RAII, Core "
+     "Guidelines R.11)",
+     "-"},
+    {"C003", "unchecked-hot-index", Severity::kError,
+     "subscript-returning accessor in core/sim without a bounds assert "
+     "within reach (the prio_at discipline from the hot-path PR)",
+     "-"},
+    {"C004", "console-io-outside-log", Severity::kError,
+     "printf/std::cout/std::cerr outside util/log; library code must log "
+     "through DSP_LOG so levels and line atomicity hold",
+     "-"},
+    {"C005", "manual-lock", Severity::kError,
+     "manual mutex lock()/unlock() instead of RAII (MutexLock / "
+     "scoped_lock, Core Guidelines CP.20)",
+     "-"},
 };
 
 }  // namespace

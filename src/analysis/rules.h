@@ -1,6 +1,6 @@
-// Rule catalog of the dsp-analyze static rule engine.
+// Rule catalog of the dsp-analyze / dsp-tidy static rule engines.
 //
-// Three rule families, one per input kind:
+// Five rule families:
 //   W* — workload/DAG lint (pre-run): structural validity plus
 //        critical-path feasibility lower bounds.
 //   S* — schedule constraint check: a solver-produced placement is
@@ -10,6 +10,16 @@
 //        re-derived statically — C1/C2 and the P-tilde > rho gate must
 //        have held, and priorities must respect the Formula 12/13
 //        structure (ancestors aggregate descendants, Fig. 3).
+//   D* — source-level determinism lint (dsp_tidy, srclint.h): rejects
+//        nondeterminism at the source level — ambient randomness, wall
+//        clocks, hash-order iteration, stray threads — because the
+//        bit-identical priorities/preemption decisions the engine
+//        promises at any thread count must hold by construction, not
+//        just under determinism_test.
+//   C* — source-level concurrency/robustness lint (dsp_tidy): lock
+//        discipline (unguarded globals, I/O under a lock, manual
+//        lock/unlock), raw new/delete, unchecked hot-path indexing, and
+//        console output bypassing util/log.
 // IDs are stable: tools, CI filters and fixtures reference them by name.
 #pragma once
 

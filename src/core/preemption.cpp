@@ -10,9 +10,12 @@ namespace dsp {
 
 ThreadPool* DspPreemption::pool() {
   if (resolved_threads_ == 0) {
-    const std::int64_t want =
-        params_.threads > 0 ? params_.threads : env_int("DSP_THREADS", 1);
-    resolved_threads_ = static_cast<int>(std::max<std::int64_t>(1, want));
+    // env_int_min warns and clamps on malformed / zero / negative
+    // DSP_THREADS values instead of silently falling through.
+    const std::int64_t want = params_.threads > 0
+                                  ? params_.threads
+                                  : env_int_min("DSP_THREADS", 1, 1);
+    resolved_threads_ = static_cast<int>(want);
     if (resolved_threads_ > 1)
       pool_ = std::make_unique<ThreadPool>(
           static_cast<unsigned>(resolved_threads_));

@@ -31,12 +31,14 @@ bool parse_outcome(const std::string& s, PreemptOutcome& out) {
 }
 
 void PreemptionAuditTrail::record(const PreemptDecision& d) {
+  MutexLock lock(mu_);
   decisions_.push_back(d);
   ++counts_[static_cast<std::size_t>(d.outcome)];
 }
 
 std::vector<PreemptDecision> PreemptionAuditTrail::with_outcome(
     PreemptOutcome o) const {
+  MutexLock lock(mu_);
   std::vector<PreemptDecision> out;
   for (const auto& d : decisions_)
     if (d.outcome == o) out.push_back(d);
@@ -44,6 +46,7 @@ std::vector<PreemptDecision> PreemptionAuditTrail::with_outcome(
 }
 
 void PreemptionAuditTrail::write_csv(std::ostream& out) const {
+  MutexLock lock(mu_);
   out << "time_us,node,candidate,victim,candidate_priority,victim_priority,"
          "normalized_gap,rho,delta,epsilon_us,tau_us,urgent,pp,outcome\n";
   char buf[96];
@@ -85,6 +88,7 @@ void write_double(std::ostream& out, double v) {
 }  // namespace
 
 void PreemptionAuditTrail::write_json(std::ostream& out) const {
+  MutexLock lock(mu_);
   out << "{\n  \"audit\": {\"total\": " << decisions_.size()
       << ", \"counts\": {";
   for (std::size_t i = 0; i < kPreemptOutcomeCount; ++i) {
@@ -121,6 +125,7 @@ void PreemptionAuditTrail::write_json(std::ostream& out) const {
 }
 
 void PreemptionAuditTrail::clear() {
+  MutexLock lock(mu_);
   decisions_.clear();
   counts_.fill(0);
 }

@@ -19,6 +19,7 @@
 #include <vector>
 
 #include "sim/types.h"
+#include "util/thread_annotations.h"
 #include "util/time.h"
 
 namespace dsp::obs {
@@ -61,16 +62,27 @@ struct PreemptDecision {
 
 /// Accumulates the decisions of one run; queryable per outcome and
 /// exportable as CSV. Attach before Engine::run via Engine::set_audit.
-/// Not thread-safe (the engine is single-threaded).
+/// Thread-safe: record() may be called from concurrent policy passes;
+/// the internal mutex keeps the trail's record order consistent with
+/// whatever order the callers serialize on (DSP's mutating passes stay
+/// serial, so the order is deterministic).
 class PreemptionAuditTrail {
  public:
   void record(const PreemptDecision& d);
 
-  const std::vector<PreemptDecision>& decisions() const { return decisions_; }
+  /// Snapshot of the recorded decisions, in record order.
+  std::vector<PreemptDecision> decisions() const {
+    MutexLock lock(mu_);
+    return decisions_;
+  }
   std::uint64_t count(PreemptOutcome o) const {
+    MutexLock lock(mu_);
     return counts_[static_cast<std::size_t>(o)];
   }
-  std::uint64_t total() const { return decisions_.size(); }
+  std::uint64_t total() const {
+    MutexLock lock(mu_);
+    return decisions_.size();
+  }
 
   /// Decisions with the given outcome, in record order.
   std::vector<PreemptDecision> with_outcome(PreemptOutcome o) const;
@@ -93,8 +105,10 @@ class PreemptionAuditTrail {
   void clear();
 
  private:
-  std::vector<PreemptDecision> decisions_;
-  std::array<std::uint64_t, kPreemptOutcomeCount> counts_{};
+  mutable Mutex mu_;
+  std::vector<PreemptDecision> decisions_ DSP_GUARDED_BY(mu_);
+  std::array<std::uint64_t, kPreemptOutcomeCount> counts_ DSP_GUARDED_BY(mu_) =
+      {};
 };
 
 /// Result of parsing an audit-trail JSON file.

@@ -63,6 +63,10 @@ class Parser {
     return false;
   }
 
+  // Containers nest by recursion, so a hostile "[[[[..." document would
+  // otherwise turn into a stack overflow instead of a parse error.
+  static constexpr int kMaxDepth = 256;
+
   bool parse_value(Value& out) {
     if (pos_ >= text_.size()) return fail("unexpected end of input");
     switch (text_[pos_]) {
@@ -78,9 +82,13 @@ class Parser {
 
   bool parse_object(Value& out) {
     out.kind = Value::Kind::kObject;
+    if (++depth_ > kMaxDepth) return fail("nesting too deep");
     ++pos_;  // '{'
     skip_ws();
-    if (eat('}')) return true;
+    if (eat('}')) {
+      --depth_;
+      return true;
+    }
     while (true) {
       skip_ws();
       if (pos_ >= text_.size() || text_[pos_] != '"')
@@ -95,16 +103,23 @@ class Parser {
       out.object.emplace_back(std::move(key), std::move(v));
       skip_ws();
       if (eat(',')) continue;
-      if (eat('}')) return true;
+      if (eat('}')) {
+        --depth_;
+        return true;
+      }
       return fail("expected ',' or '}'");
     }
   }
 
   bool parse_array(Value& out) {
     out.kind = Value::Kind::kArray;
+    if (++depth_ > kMaxDepth) return fail("nesting too deep");
     ++pos_;  // '['
     skip_ws();
-    if (eat(']')) return true;
+    if (eat(']')) {
+      --depth_;
+      return true;
+    }
     while (true) {
       skip_ws();
       Value v;
@@ -112,7 +127,10 @@ class Parser {
       out.array.push_back(std::move(v));
       skip_ws();
       if (eat(',')) continue;
-      if (eat(']')) return true;
+      if (eat(']')) {
+        --depth_;
+        return true;
+      }
       return fail("expected ',' or ']'");
     }
   }
@@ -205,6 +223,7 @@ class Parser {
   std::string_view text_;
   std::string* error_;
   std::size_t pos_ = 0;
+  int depth_ = 0;
 };
 
 }  // namespace

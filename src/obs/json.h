@@ -41,7 +41,9 @@ struct Value {
 
 /// Parses `text` into `out`. On failure returns false and, when `error`
 /// is non-null, stores a message with the byte offset of the problem.
-/// Trailing non-whitespace after the top-level value is an error.
+/// Trailing non-whitespace after the top-level value is an error, and
+/// containers nested deeper than 256 levels are rejected (the parser
+/// recurses, so unbounded nesting would exhaust the stack).
 bool parse(std::string_view text, Value& out, std::string* error = nullptr);
 
 }  // namespace dsp::obs::json

@@ -40,7 +40,7 @@ void write_json_number(std::ostream& out, double v) {
 }
 
 void Histo::add(double x) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   if (count_ == 0) {
     min_ = max_ = x;
   } else {
@@ -72,7 +72,7 @@ double sorted_percentile(const std::vector<double>& sorted, double p) {
 }  // namespace
 
 Histo::Snapshot Histo::snapshot() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   Snapshot s;
   s.count = count_;
   if (count_ == 0) return s;
@@ -89,14 +89,14 @@ Histo::Snapshot Histo::snapshot() const {
 }
 
 void Histo::reset() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   count_ = 0;
   sum_ = min_ = max_ = 0.0;
   samples_.clear();
 }
 
 Counter* MetricsRegistry::counter(std::string_view name) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   auto it = counters_.find(name);
   if (it == counters_.end())
     it = counters_.emplace(std::string(name), std::make_unique<Counter>()).first;
@@ -104,7 +104,7 @@ Counter* MetricsRegistry::counter(std::string_view name) {
 }
 
 Gauge* MetricsRegistry::gauge(std::string_view name) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   auto it = gauges_.find(name);
   if (it == gauges_.end())
     it = gauges_.emplace(std::string(name), std::make_unique<Gauge>()).first;
@@ -112,7 +112,7 @@ Gauge* MetricsRegistry::gauge(std::string_view name) {
 }
 
 Histo* MetricsRegistry::histogram(std::string_view name) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   auto it = histograms_.find(name);
   if (it == histograms_.end())
     it = histograms_.emplace(std::string(name), std::make_unique<Histo>()).first;
@@ -120,7 +120,7 @@ Histo* MetricsRegistry::histogram(std::string_view name) {
 }
 
 void MetricsRegistry::to_json(std::ostream& out) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   out << "{\"counters\":{";
   bool first = true;
   for (const auto& [name, c] : counters_) {
@@ -165,7 +165,7 @@ void MetricsRegistry::to_json(std::ostream& out) const {
 }
 
 void MetricsRegistry::reset() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   for (auto& [name, c] : counters_) c->reset();
   for (auto& [name, g] : gauges_) g->reset();
   for (auto& [name, h] : histograms_) h->reset();

@@ -20,10 +20,11 @@
 #include <iosfwd>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <string_view>
 #include <vector>
+
+#include "util/thread_annotations.h"
 
 namespace dsp::obs {
 
@@ -85,13 +86,13 @@ class Histo {
   void reset();
 
  private:
-  mutable std::mutex mu_;
-  std::uint64_t count_ = 0;
-  double sum_ = 0.0;
-  double min_ = 0.0;
-  double max_ = 0.0;
-  std::vector<double> samples_;
-  std::size_t max_samples_;
+  mutable Mutex mu_;
+  std::uint64_t count_ DSP_GUARDED_BY(mu_) = 0;
+  double sum_ DSP_GUARDED_BY(mu_) = 0.0;
+  double min_ DSP_GUARDED_BY(mu_) = 0.0;
+  double max_ DSP_GUARDED_BY(mu_) = 0.0;
+  std::vector<double> samples_ DSP_GUARDED_BY(mu_);
+  std::size_t max_samples_;  // immutable after construction
 };
 
 /// Named metric store. Metric objects live as long as the registry and
@@ -114,10 +115,16 @@ class MetricsRegistry {
   void reset();
 
  private:
-  mutable std::mutex mu_;
-  std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_;
-  std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges_;
-  std::map<std::string, std::unique_ptr<Histo>, std::less<>> histograms_;
+  mutable Mutex mu_;
+  // The maps are guarded; the pointed-to metrics are internally
+  // synchronized (atomics / their own mutex), which is what lets callers
+  // cache the returned pointers lock-free.
+  std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_
+      DSP_GUARDED_BY(mu_);
+  std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges_
+      DSP_GUARDED_BY(mu_);
+  std::map<std::string, std::unique_ptr<Histo>, std::less<>> histograms_
+      DSP_GUARDED_BY(mu_);
 };
 
 /// The process-wide registry the recording macros feed.

@@ -168,6 +168,7 @@ Engine::LeafInputs Engine::leaf_inputs(Gid g) const {
 }
 
 bool Engine::depends_on(Gid dependent, Gid precedent) const {
+  assert(dependent < task_job_.size() && precedent < task_job_.size());
   if (task_job_[dependent] != task_job_[precedent]) return false;
   return jobs_[task_job_[dependent]].graph().depends_on(task_index_[dependent],
                                                         task_index_[precedent]);

@@ -22,6 +22,7 @@
 //     counted as a *disorder* (Fig. 6(a)) and the launch is refused.
 #pragma once
 
+#include <cassert>
 #include <cstdint>
 #include <queue>
 #include <vector>
@@ -93,15 +94,18 @@ class Engine {
 
   /// Number of predecessor jobs of `j` that have not completed yet.
   std::uint32_t unfinished_predecessor_jobs(JobId j) const {
+    assert(j < job_rt_.size());
     return job_rt_[j].pred_jobs_remaining;
   }
 
   /// True while node `k` is up (failed nodes accept no work).
   bool node_up(int node) const {
+    assert(node_in_range(node));
     return nodes_[static_cast<std::size_t>(node)].up;
   }
   /// Current speed factor of `node` (1.0 nominal; < 1 while straggling).
   double node_speed_factor(int node) const {
+    assert(node_in_range(node));
     return nodes_[static_cast<std::size_t>(node)].speed_factor;
   }
 
@@ -114,18 +118,35 @@ class Engine {
   std::size_t node_count() const { return cluster_.size(); }
   std::size_t job_count() const { return jobs_.size(); }
 
-  const Job& job(JobId j) const { return jobs_[j]; }
-  JobId job_of(Gid g) const { return task_job_[g]; }
-  TaskIndex index_of(Gid g) const { return task_index_[g]; }
-  Gid gid(JobId j, TaskIndex t) const { return job_offset_[j] + t; }
+  const Job& job(JobId j) const {
+    assert(j < jobs_.size());
+    return jobs_[j];
+  }
+  JobId job_of(Gid g) const {
+    assert(g < task_job_.size());
+    return task_job_[g];
+  }
+  TaskIndex index_of(Gid g) const {
+    assert(g < task_index_.size());
+    return task_index_[g];
+  }
+  Gid gid(JobId j, TaskIndex t) const {
+    assert(j < job_offset_.size());
+    return job_offset_[j] + t;
+  }
   const Task& task_info(Gid g) const {
+    assert(g < task_job_.size());
     return jobs_[task_job_[g]].task(task_index_[g]);
   }
 
-  TaskState state(Gid g) const { return rt_[g].state; }
+  TaskState state(Gid g) const {
+    assert(g < rt_.size());
+    return rt_[g].state;
+  }
   /// True when every precedent task has finished and every predecessor
   /// *job* (cross-job dependency) has completed.
   bool is_ready(Gid g) const {
+    assert(g < rt_.size());
     return rt_[g].unfinished_parents == 0 &&
            job_rt_[task_job_[g]].pred_jobs_remaining == 0;
   }
@@ -135,6 +156,7 @@ class Engine {
   /// event (a real scheduler remembers the failed launch until the
   /// missing inputs appear).
   bool launch_blocked(Gid g) const {
+    assert(g < launch_blocked_.size());
     return launch_blocked_[g] != 0 && !is_ready(g);
   }
   /// Work left in MI (size minus executed).
@@ -149,6 +171,7 @@ class Engine {
   /// that earned priority by waiting keeps it while running, which
   /// prevents preemption ping-pong between equal tasks.
   double accumulated_wait_s(Gid g) const {
+    assert(g < rt_.size());
     return rt_[g].total_wait_s + to_seconds(waiting_time(g));
   }
   /// Absolute per-task deadline t^d_ij (from the per-level rule).
@@ -157,9 +180,18 @@ class Engine {
   SimTime allowable_waiting_time(Gid g) const {
     return task_deadline(g) - now_ - remaining_time(g);
   }
-  int assigned_node(Gid g) const { return rt_[g].node; }
-  int preemption_count(Gid g) const { return rt_[g].preemptions; }
-  SimTime planned_start(Gid g) const { return rt_[g].planned_start; }
+  int assigned_node(Gid g) const {
+    assert(g < rt_.size());
+    return rt_[g].node;
+  }
+  int preemption_count(Gid g) const {
+    assert(g < rt_.size());
+    return rt_[g].preemptions;
+  }
+  SimTime planned_start(Gid g) const {
+    assert(g < rt_.size());
+    return rt_[g].planned_start;
+  }
 
   /// True when `dependent` (transitively) depends on `precedent`.
   /// Tasks of different jobs never depend on each other.
@@ -168,6 +200,7 @@ class Engine {
   /// Waiting queue of `node` in ascending planned-start order
   /// (includes suspended tasks awaiting resume).
   const std::vector<Gid>& waiting(int node) const {
+    assert(node_in_range(node));
     return nodes_[static_cast<std::size_t>(node)].waiting;
   }
   /// Copies `node`'s waiting queue into `out` (cleared first). Policies
@@ -175,18 +208,22 @@ class Engine {
   /// victim) snapshot into a reusable buffer instead of allocating a
   /// fresh vector per node per epoch.
   void waiting_snapshot(int node, std::vector<Gid>& out) const {
+    assert(node_in_range(node));
     const auto& w = nodes_[static_cast<std::size_t>(node)].waiting;
     out.assign(w.begin(), w.end());
   }
   /// Tasks currently running on `node`.
   const std::vector<Gid>& running(int node) const {
+    assert(node_in_range(node));
     return nodes_[static_cast<std::size_t>(node)].running;
   }
   /// Resources currently unreserved on `node`.
   const Resources& available(int node) const {
+    assert(node_in_range(node));
     return nodes_[static_cast<std::size_t>(node)].available;
   }
   int free_slots(int node) const {
+    assert(node_in_range(node));
     return nodes_[static_cast<std::size_t>(node)].free_slots;
   }
   /// Effective rate: nominal g(k) scaled by the current straggler factor.
@@ -207,6 +244,7 @@ class Engine {
   }
   /// Outstanding work assigned to `node` in MI (waiting + running).
   double node_backlog_mi(int node) const {
+    assert(node_in_range(node));
     return nodes_[static_cast<std::size_t>(node)].backlog_mi;
   }
 
@@ -223,6 +261,7 @@ class Engine {
   /// engine recomputes a job only when its stored version is stale (or
   /// simulated time advanced, which moves every t^w/t^a input).
   std::uint64_t priority_version(JobId j) const {
+    assert(j < prio_cache_.size());
     return prio_cache_[j].version;
   }
   /// The job's unfinished tasks in reverse topological order (children
@@ -246,18 +285,28 @@ class Engine {
   LeafInputs leaf_inputs(Gid g) const;
 
   /// True once the offline scheduler has placed this job's tasks.
-  bool job_scheduled(JobId j) const { return job_rt_[j].scheduled; }
+  bool job_scheduled(JobId j) const {
+    assert(j < job_rt_.size());
+    return job_rt_[j].scheduled;
+  }
   /// True when every task of the job has finished.
-  bool job_finished(JobId j) const { return job_rt_[j].finished; }
+  bool job_finished(JobId j) const {
+    assert(j < job_rt_.size());
+    return job_rt_[j].finished;
+  }
   /// Number of this job's tasks that have not finished yet.
   std::uint32_t unfinished_task_count(JobId j) const {
+    assert(j < job_rt_.size());
     return job_rt_[j].unfinished_tasks;
   }
   /// Total number of tasks across all jobs (the Gid domain size).
   std::size_t total_task_count() const { return rt_.size(); }
   /// Work (MI) of this job's finished tasks — the "service received so
   /// far" signal Aalo's multi-level queues demote on.
-  double job_serviced_mi(JobId j) const { return job_rt_[j].serviced_mi; }
+  double job_serviced_mi(JobId j) const {
+    assert(j < job_rt_.size());
+    return job_rt_[j].serviced_mi;
+  }
 
   // ------------------------------------------------------------------
   // Mutation API for preemption policies.
@@ -393,6 +442,11 @@ class Engine {
   void suspend_task(int node, Gid g);
   void complete_job(JobId j);
   bool all_jobs_finished() const { return finished_jobs_ == jobs_.size(); }
+
+  /// Bounds predicate behind the node-indexed accessors' asserts.
+  bool node_in_range(int node) const {
+    return node >= 0 && static_cast<std::size_t>(node) < nodes_.size();
+  }
 
   /// Marks `g`'s job dirty for the priority engine.
   void touch_priority(Gid g) { ++prio_cache_[task_job_[g]].version; }

@@ -13,7 +13,7 @@ ThreadPool::ThreadPool(unsigned threads) {
 
 ThreadPool::~ThreadPool() {
   {
-    std::scoped_lock lock(mutex_);
+    MutexLock lock(mutex_);
     stop_ = true;
   }
   cv_.notify_all();
@@ -24,12 +24,9 @@ void ThreadPool::worker_loop() {
   for (;;) {
     std::function<void()> task;
     {
-      std::unique_lock lock(mutex_);
-      cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
-      if (queue_.empty()) {
-        if (stop_) return;
-        continue;
-      }
+      MutexLock lock(mutex_);
+      while (!stop_ && queue_.empty()) cv_.wait(mutex_);
+      if (queue_.empty()) return;  // stop requested and queue drained
       task = std::move(queue_.front());
       queue_.pop();
     }

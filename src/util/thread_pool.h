@@ -5,15 +5,15 @@
 // implementation detail, joined by RAII on destruction (CP.23/CP.25).
 #pragma once
 
-#include <condition_variable>
 #include <functional>
 #include <future>
 #include <memory>
-#include <mutex>
 #include <queue>
 #include <thread>
 #include <type_traits>
 #include <vector>
+
+#include "util/thread_annotations.h"
 
 namespace dsp {
 
@@ -36,7 +36,7 @@ class ThreadPool {
     auto task = std::make_shared<std::packaged_task<R()>>(std::forward<F>(fn));
     auto fut = task->get_future();
     {
-      std::scoped_lock lock(mutex_);
+      MutexLock lock(mutex_);
       queue_.emplace([task] { (*task)(); });
     }
     cv_.notify_one();
@@ -57,11 +57,11 @@ class ThreadPool {
  private:
   void worker_loop();
 
-  std::mutex mutex_;
-  std::condition_variable cv_;
-  std::queue<std::function<void()>> queue_;
-  bool stop_ = false;
-  std::vector<std::thread> workers_;
+  Mutex mutex_;
+  CondVar cv_;
+  std::queue<std::function<void()>> queue_ DSP_GUARDED_BY(mutex_);
+  bool stop_ DSP_GUARDED_BY(mutex_) = false;
+  std::vector<std::thread> workers_;  // written only in the ctor
 };
 
 }  // namespace dsp

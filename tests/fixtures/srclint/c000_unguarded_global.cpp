@@ -1,0 +1,4 @@
+// Seeded violation: C000 (mutable file-scope state) and nothing else.
+static int g_request_count = 0;
+
+void bump() { ++g_request_count; }

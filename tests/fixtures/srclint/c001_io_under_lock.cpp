@@ -1,0 +1,10 @@
+// Seeded violation: C001 (blocking I/O while a lock is held) and
+// nothing else.
+#include <cstdio>
+#include <mutex>
+
+void checkpoint(std::mutex& mu, const char* path) {
+  std::lock_guard<std::mutex> hold(mu);
+  FILE* f = fopen(path, "w");
+  if (f != nullptr) fclose(f);
+}

@@ -1,0 +1,5 @@
+// Seeded violation: C002 (raw new/delete) and nothing else.
+
+int* make_buffer(int n) { return new int[n]; }
+
+void destroy_buffer(int* p) { delete[] p; }

@@ -1,0 +1,10 @@
+// Seeded violation: C003 (unchecked subscript return in hot-path scope)
+// and nothing else.
+
+class SpeedTable {
+ public:
+  double speed(int node) const { return speeds_[node]; }
+
+ private:
+  double speeds_[8] = {};
+};

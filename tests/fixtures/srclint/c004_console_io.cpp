@@ -1,0 +1,6 @@
+// Seeded violation: C004 (console I/O outside util/log) and nothing else.
+#include <cstdio>
+
+void report_progress(int done, int total) {
+  printf("progress %d/%d\n", done, total);
+}

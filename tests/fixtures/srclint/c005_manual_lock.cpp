@@ -1,0 +1,8 @@
+// Seeded violation: C005 (manual lock()/unlock()) and nothing else.
+#include <mutex>
+
+void poke(std::mutex& mu, int& counter) {
+  mu.lock();
+  ++counter;
+  mu.unlock();
+}

@@ -1,0 +1,29 @@
+// Clean fixture: no srclint rule may fire. Exercises the constructs the
+// rules must NOT match — comments and strings naming forbidden calls,
+// digit separators, snprintf (not printf), identifiers containing
+// "time"/"random", and a guarded subscript return.
+#include <cassert>
+#include <cstdio>
+#include <vector>
+
+// Doc text mentioning rand(), time(nullptr) and std::cout must not fire.
+static constexpr int kAnswer = 42;
+
+class WaitingTimes {
+ public:
+  explicit WaitingTimes(int n) : waiting_times_(n, 0.0) {}
+
+  double waiting_time(int task) const {
+    assert(static_cast<std::size_t>(task) < waiting_times_.size());
+    return waiting_times_[task];
+  }
+
+  void format(char* buf, std::size_t size) const {
+    const long big = 1'000'000;
+    std::snprintf(buf, size, "kAnswer=%d big=%ld s=%s", kAnswer, big,
+                  "rand() printf( std::cout time(");
+  }
+
+ private:
+  std::vector<double> waiting_times_;
+};

@@ -1,0 +1,4 @@
+// Seeded violation: D000 (libc random source) and nothing else.
+#include <cstdlib>
+
+int noise() { return rand() % 100; }

@@ -1,0 +1,7 @@
+// Seeded violation: D001 (std::random_device) and nothing else.
+#include <random>
+
+unsigned seed_from_os() {
+  std::random_device dev;
+  return dev();
+}

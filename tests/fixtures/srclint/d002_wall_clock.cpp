@@ -1,0 +1,4 @@
+// Seeded violation: D002 (wall-clock read) and nothing else.
+#include <ctime>
+
+long stamp_now() { return static_cast<long>(time(nullptr)); }

@@ -1,0 +1,9 @@
+// Seeded violation: D003 (hash-order container in hot-path scope) and
+// nothing else.
+#include <unordered_map>
+
+double total_backlog(const std::unordered_map<int, double>& backlog) {
+  double sum = 0.0;
+  for (const auto& [node, mi] : backlog) sum += mi;
+  return sum;
+}

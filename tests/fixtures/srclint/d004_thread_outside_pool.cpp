@@ -1,0 +1,7 @@
+// Seeded violation: D004 (ad-hoc std::thread) and nothing else.
+#include <thread>
+
+void fire_and_join() {
+  std::thread worker([] {});
+  worker.join();
+}

@@ -1,0 +1,7 @@
+// Seeded violation: D005 (<random> engine) and nothing else.
+#include <random>
+
+int roll(unsigned seed) {
+  std::mt19937 gen(seed);
+  return static_cast<int>(gen() % 6u) + 1;
+}

@@ -156,6 +156,51 @@ TEST(JsonParserTest, RejectsMalformedInput) {
   EXPECT_EQ(v.find("a")->array.size(), 4u);
 }
 
+TEST(JsonParserTest, RejectsMalformedEscapes) {
+  obs::json::Value v;
+  std::string error;
+  EXPECT_FALSE(obs::json::parse(R"("\q")", v, &error));  // unknown escape
+  EXPECT_NE(error.find("escape"), std::string::npos) << error;
+  EXPECT_FALSE(obs::json::parse(R"("\u12")", v));    // truncated \u
+  EXPECT_FALSE(obs::json::parse(R"("\u12zz")", v));  // non-hex \u
+  EXPECT_FALSE(obs::json::parse("\"\\\"", v));       // dangling backslash
+  EXPECT_FALSE(obs::json::parse("\"tab\there\"", v));  // raw control char
+  EXPECT_TRUE(obs::json::parse(R"("A\n\t\\")", v));
+  EXPECT_EQ(v.string, "A\n\t\\");
+}
+
+TEST(JsonParserTest, RejectsTruncatedDocuments) {
+  obs::json::Value v;
+  for (const char* doc :
+       {"", "  ", "{\"a\":", "{\"a\"", "[1, 2", "[1,", "\"unterminated",
+        "tru", "nul", "-", "{\"a\": {\"b\": [1}"}) {
+    std::string error;
+    EXPECT_FALSE(obs::json::parse(doc, v, &error))
+        << "accepted truncated document: " << doc;
+    EXPECT_NE(error.find("offset"), std::string::npos) << error;
+  }
+}
+
+TEST(JsonParserTest, RejectsDeepNestingInsteadOfOverflowing) {
+  // 257 levels exceeds the parser's 256-level cap; the hostile version of
+  // this document (100k levels) must be a parse error, not a stack
+  // overflow.
+  const auto nested = [](std::size_t depth) {
+    return std::string(depth, '[') + std::string(depth, ']');
+  };
+  obs::json::Value v;
+  EXPECT_TRUE(obs::json::parse(nested(256), v));
+  std::string error;
+  EXPECT_FALSE(obs::json::parse(nested(257), v, &error));
+  EXPECT_NE(error.find("nesting too deep"), std::string::npos) << error;
+  EXPECT_FALSE(obs::json::parse(nested(100000), v, &error));
+
+  // Mixed object/array nesting shares the same cap.
+  std::string mixed;
+  for (int i = 0; i < 200; ++i) mixed += "{\"k\":[";
+  EXPECT_FALSE(obs::json::parse(mixed, v, &error));
+}
+
 TEST(ProfilerTest, ScopedTimerFeedsHistogram) {
   obs::Histo h;
   {

@@ -9,6 +9,13 @@
 #            (the rest of the suite is single-threaded; running it
 #            under TSan adds minutes, not coverage)
 #   lint     tools/lint.sh (clang-tidy or strict-warning fallback)
+#   srclint  dsp_tidy self-scan of src/ (must be clean, --json validated
+#            by json_check) plus the seeded per-rule fixtures, which must
+#            each fail naming exactly their rule
+#   threadsafety  clang++ build with -DDSP_THREAD_SAFETY=ON so the
+#            Clang Thread Safety Analysis annotations are checked as
+#            errors; skipped (with a notice) when clang++ is not
+#            installed
 #   analyze  dsp_analyze over examples/workloads and the analysis
 #            fixtures, with --json output validated by json_check
 #   bench-smoke  micro_bench hot-path benchmarks at a tiny min_time,
@@ -45,6 +52,48 @@ fi
 if ! skipped lint; then
   banner "lint"
   BUILD_DIR=build tools/lint.sh
+fi
+
+if ! skipped srclint; then
+  banner "srclint (dsp_tidy source rules)"
+  TIDY=build/tools/dsp_tidy
+  JSON_CHECK=build/tools/json_check
+  srclint_tmp=$(mktemp -d)
+
+  echo "dsp_tidy src/ (self-scan must be clean)"
+  "$TIDY" src/ --json "$srclint_tmp/tidy.json"
+  "$JSON_CHECK" "$srclint_tmp/tidy.json" analyzer input.kind diagnostics summary.error
+
+  # Seeded-violation fixtures must fail with exactly their rule.
+  for f in tests/fixtures/srclint/[dc][0-9]*.cpp; do
+    base=$(basename "$f")
+    rule=$(echo "${base%%_*}" | tr '[:lower:]' '[:upper:]')
+    if "$TIDY" "$f" >"$srclint_tmp/seed.txt" 2>&1; then
+      echo "ci: $f unexpectedly scanned clean (wanted $rule)"; exit 1
+    fi
+    grep -q "$rule" "$srclint_tmp/seed.txt" || { echo "ci: $f did not report $rule"; exit 1; }
+    if "$TIDY" "$f" --rules "$rule" >/dev/null 2>&1; then
+      echo "ci: $f clean under --rules $rule"; exit 1
+    fi
+    echo "seeded $rule ok ($f)"
+  done
+
+  echo "dsp_tidy tests/fixtures/srclint/clean.cpp"
+  "$TIDY" tests/fixtures/srclint/clean.cpp >/dev/null
+  rm -rf "$srclint_tmp"
+fi
+
+if ! skipped threadsafety; then
+  banner "thread-safety analysis (clang)"
+  if command -v clang++ >/dev/null 2>&1; then
+    cmake -B build-tsa -S . \
+      -DCMAKE_CXX_COMPILER=clang++ -DDSP_THREAD_SAFETY=ON >/dev/null
+    cmake --build build-tsa -j
+    echo "thread-safety: clean"
+  else
+    echo "thread-safety: clang++ not installed; skipping (annotations"
+    echo "compile away under GCC — see src/util/thread_annotations.h)"
+  fi
 fi
 
 if ! skipped analyze; then
