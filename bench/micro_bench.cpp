@@ -20,6 +20,7 @@
 #include "core/dsp_system.h"
 #include "core/priority.h"
 #include "lp/simplex.h"
+#include "obs/events.h"
 #include "sim/engine.h"
 #include "trace/workload.h"
 #include "util/rng.h"
@@ -205,6 +206,31 @@ void BM_ComputeAllFullRecompute(benchmark::State& state) {
   compute_all_bench(state, /*cold=*/true);
 }
 BENCHMARK(BM_ComputeAllFullRecompute)->Arg(20)->Arg(60);
+
+void BM_EventLogEmit(benchmark::State& state) {
+  // Flight-recorder emit cost: range(0)==0 rings only, ==1 rings plus a
+  // JSONL sink (to the null device, so the cost measured is formatting +
+  // buffered fwrite, not disk). The acceptance bar is that recorder-on
+  // adds <5% to a fig8-style end-to-end run; at ~10^5 events per run a
+  // sub-microsecond emit keeps it far below that.
+  obs::EventLog log(1 << 12);
+  if (state.range(0) != 0 && !log.open_sink("/dev/null")) {
+    state.SkipWithError("cannot open /dev/null sink");
+    return;
+  }
+  obs::Event e{.kind = obs::EventKind::kTaskDispatch,
+               .job = 3,
+               .task = 17,
+               .node = 2,
+               .a = 1.5};
+  SimTime t = 0;
+  for (auto _ : state) {
+    e.time = ++t;
+    log.emit(e);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_EventLogEmit)->Arg(0)->Arg(1);
 
 void BM_EndToEndSimulation(benchmark::State& state) {
   for (auto _ : state) {

@@ -313,6 +313,12 @@ const std::regex& index_guard_re() {
 void scan_source(std::string_view path, std::string_view text, Report& report) {
   const std::string npath = normalize_path(path);
   const bool hot = in_hot_scope(npath);
+  // C001 path scoping: util/log's line emitter and obs/events' JSONL sink
+  // are the sanctioned single-writer paths — each holds its own mutex
+  // around exactly one buffered fwrite so concurrent lines never
+  // interleave. Everywhere else, I/O under a lock is a latency bug.
+  const bool c001_exempt =
+      path_has(npath, "util/log.") || path_has(npath, "obs/events.");
   const std::vector<Line> lines = lex_lines(text);
 
   int depth = 0;                 // brace nesting across the file
@@ -366,7 +372,7 @@ void scan_source(std::string_view path, std::string_view text, Report& report) {
       }
       if (std::regex_search(line.code, lock_decl_re()))
         lock_depths.push_back(depth);
-      if (!lock_depths.empty() && !allowed(allows, "C001") &&
+      if (!lock_depths.empty() && !c001_exempt && !allowed(allows, "C001") &&
           std::regex_search(line.code, m, io_call_re()))
         report.add("C001", subject,
                    "blocking I/O while a lock is held (`" + strip_ws(m.str()) +

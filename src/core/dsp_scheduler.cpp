@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cassert>
 #include <cmath>
+#include <map>
 #include <queue>
 #include <tuple>
 
@@ -56,14 +57,31 @@ std::vector<TaskPlacement> DspScheduler::schedule(
     }
   }
   last_mode_ = mode;
+  std::vector<TaskPlacement> placements;
   switch (mode) {
     case ScheduleMode::kExact:
-      return schedule_ilp(jobs, engine, /*exact=*/true);
+      placements = schedule_ilp(jobs, engine, /*exact=*/true);
+      break;
     case ScheduleMode::kRelaxRound:
-      return schedule_ilp(jobs, engine, /*exact=*/false);
+      placements = schedule_ilp(jobs, engine, /*exact=*/false);
+      break;
     default:
-      return schedule_heuristic(jobs, engine);
+      placements = schedule_heuristic(jobs, engine);
+      break;
   }
+  if (engine.event_log() != nullptr) {
+    // Flight recorder: one kJobPlanned per scheduled job, with the number
+    // of its tasks this round actually placed in the `a` payload.
+    std::map<JobId, double> placed;
+    for (const TaskPlacement& p : placements) ++placed[engine.job_of(p.task)];
+    for (JobId j : jobs) {
+      const auto it = placed.find(j);
+      engine.emit_event({.kind = obs::EventKind::kJobPlanned,
+                         .job = j,
+                         .a = it == placed.end() ? 0.0 : it->second});
+    }
+  }
+  return placements;
 }
 
 std::vector<TaskPlacement> DspScheduler::schedule_heuristic(

@@ -72,7 +72,14 @@ void DspPreemption::on_epoch(Engine& engine) {
     considered += c;
     preempted += p;
   }
-  if (params_.adaptive_delta) adapt_delta(considered, preempted);
+  if (params_.adaptive_delta) {
+    const double before = delta_;
+    adapt_delta(considered, preempted);
+    if (delta_ != before)
+      engine.emit_event({.kind = obs::EventKind::kDeltaAdapt,
+                         .a = before,
+                         .b = delta_});
+  }
 }
 
 obs::PreemptDecision DspPreemption::make_decision(int node, Gid w) const {

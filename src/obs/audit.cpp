@@ -93,7 +93,7 @@ void PreemptionAuditTrail::write_json(std::ostream& out) const {
       << ", \"counts\": {";
   for (std::size_t i = 0; i < kPreemptOutcomeCount; ++i) {
     if (i) out << ", ";
-    out << '"' << to_string(static_cast<PreemptOutcome>(i))
+    out << '"' << json_escape(to_string(static_cast<PreemptOutcome>(i)))
         << "\": " << counts_[i];
   }
   out << "}},\n  \"decisions\": [";
@@ -119,7 +119,7 @@ void PreemptionAuditTrail::write_json(std::ostream& out) const {
     out << ", \"epsilon_us\": " << d.epsilon << ", \"tau_us\": " << d.tau
         << ", \"urgent\": " << (d.urgent ? "true" : "false") << ", \"pp\": "
         << (d.pp ? "true" : "false") << ", \"outcome\": \""
-        << to_string(d.outcome) << "\"}";
+        << json_escape(to_string(d.outcome)) << "\"}";
   }
   out << "\n  ]\n}\n";
 }

@@ -1,0 +1,181 @@
+// Flight recorder: a low-overhead, fixed-size ring of POD event records
+// covering every externally meaningful transition of a simulation run —
+// job arrivals and completions, task dispatch/finish/preempt/migrate,
+// hoarding, Algorithm-1 preempt decisions, node failures and rate
+// changes, scheduling rounds, epoch boundaries and delta adaptation.
+//
+// The engine (and, through Engine::emit_event, the policies) emit into an
+// EventLog; the last `capacity` events are always available in memory via
+// snapshot(), and when a JSONL sink is open (open_sink / DSP_EVENT_LOG)
+// every accepted event is also streamed as one JSON object per line.
+// Because every emit point sits in the engine's serial event loop or in a
+// policy's serial mutating pass, the stream is bit-identical across
+// DSP_THREADS settings — tools/dsp_report's first-divergence diff turns
+// that determinism guarantee into a debuggable property.
+//
+// Knobs (read by EventLog::from_env, applied by Engine::run when no log
+// was attached explicitly):
+//   DSP_EVENT_LOG=<path>    stream accepted events to <path> as JSONL
+//   DSP_EVENT_RING=<n>      in-memory ring capacity (default 65536)
+//   DSP_EVENT_SAMPLE=spec   per-kind sampling, e.g.
+//                           "task_dispatch=10,preempt_decision=100"
+//                           keeps every 10th dispatch / 100th decision
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <cstdio>
+#include <iosfwd>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "sim/types.h"
+#include "util/thread_annotations.h"
+#include "util/time.h"
+
+namespace dsp::obs {
+
+/// What happened. Names (to_string) are the `kind` strings of the JSONL
+/// schema and of DSP_EVENT_SAMPLE specs.
+enum class EventKind : std::uint8_t {
+  kRunInfo,          ///< First event of a run: cluster + workload shape.
+  kJobArrival,       ///< A job arrived (payload a: task count).
+  kJobPlanned,       ///< The offline scheduler placed a job's tasks.
+  kJobComplete,      ///< Every task of the job finished.
+  kTaskEnqueue,      ///< Task entered a node's waiting queue.
+  kTaskDispatch,     ///< Task began executing (payload a: overhead us).
+  kTaskFinish,       ///< Task completed.
+  kTaskPreempt,      ///< Task was suspended (preemption or node failure).
+  kTaskMigrate,      ///< Task moved node -> node2 while queued.
+  kHoardStart,       ///< Unready task blindly launched; slot hoarded.
+  kHoardEvict,       ///< Hoarding task evicted by the timeout / failure.
+  kPreemptDecision,  ///< One Algorithm-1 candidate evaluation.
+  kNodeDown,         ///< Node failed.
+  kNodeUp,           ///< Node recovered.
+  kNodeRate,         ///< Node speed factor changed (payload a: factor).
+  kEpoch,            ///< Online-preemption epoch boundary.
+  kScheduleRound,    ///< Offline scheduling round (a: jobs, b: placements).
+  kDeltaAdapt,       ///< Adaptive delta moved (a: old, b: new).
+};
+
+inline constexpr std::size_t kEventKindCount = 18;
+
+const char* to_string(EventKind k);
+
+/// Inverse of to_string; false when `s` names no kind.
+bool parse_event_kind(std::string_view s, EventKind& out);
+
+// Flag bits, meaningful per kind (stored in Event::flags).
+inline constexpr std::uint8_t kEventFlagRequeue = 1;        ///< kTaskEnqueue: re-entry, not first placement.
+inline constexpr std::uint8_t kEventFlagHoardActivate = 1;  ///< kTaskDispatch: a hoarded slot went live.
+inline constexpr std::uint8_t kEventFlagKeptProgress = 1;   ///< kTaskPreempt: checkpointed work survives.
+inline constexpr std::uint8_t kEventFlagFailover = 1;       ///< kTaskMigrate: forced by a node failure.
+inline constexpr std::uint8_t kEventFlagDeadlineMet = 1;    ///< kJobComplete: finished by its deadline.
+inline constexpr std::uint8_t kEventFlagUrgent = 1;         ///< kPreemptDecision: urgent pass.
+inline constexpr std::uint8_t kEventFlagPP = 2;             ///< kPreemptDecision: PP filter enabled.
+/// kPreemptDecision: PreemptOutcome stored in bits 2-3 (flags >> 2).
+inline constexpr std::uint8_t kEventFlagOutcomeShift = 2;
+
+/// One recorded event. POD by design: emit copies it into the ring with
+/// no allocation. Field semantics vary by kind (see EventKind); unused
+/// ids stay at their invalid defaults and serialize as -1.
+struct Event {
+  SimTime time = 0;          ///< Simulation time of the event (us).
+  std::uint64_t seq = 0;     ///< Dense per-log sequence number (assigned by emit).
+  std::uint32_t epoch = 0;   ///< Epoch ordinal at emit time (0 before the first).
+  EventKind kind = EventKind::kRunInfo;
+  std::uint8_t flags = 0;    ///< Per-kind flag bits (kEventFlag*).
+  std::uint32_t job = ~std::uint32_t{0};  ///< JobId, or ~0 when n/a.
+  Gid task = kInvalidGid;    ///< Primary task (candidate for decisions).
+  Gid task2 = kInvalidGid;   ///< Secondary task (decision victim).
+  std::int16_t node = -1;    ///< Primary node.
+  std::int16_t node2 = -1;   ///< Secondary node (migration target).
+  double a = 0.0;            ///< Per-kind payload (see EventKind).
+  double b = 0.0;            ///< Per-kind payload (see EventKind).
+};
+
+/// Thread-safe fixed-capacity recorder with an optional JSONL sink.
+/// emit() is the only hot operation: one short Mutex hold covering the
+/// sampling decision, the ring store and (when a sink is open) a single
+/// buffered fwrite of the pre-formatted line.
+class EventLog {
+ public:
+  static constexpr std::size_t kDefaultCapacity = 1 << 16;
+
+  explicit EventLog(std::size_t capacity = kDefaultCapacity);
+  ~EventLog();
+
+  EventLog(const EventLog&) = delete;
+  EventLog& operator=(const EventLog&) = delete;
+
+  /// Streams every subsequently accepted event to `path` (truncates).
+  /// Returns false (and logs) when the file cannot be opened.
+  bool open_sink(const std::string& path);
+  void close_sink();
+
+  /// Keep only every `n`-th event of `kind` (n <= 1 keeps all).
+  void set_sample_every(EventKind kind, std::uint32_t n);
+
+  /// Parses a "kind=N,kind=N" spec (see DSP_EVENT_SAMPLE). Unknown kinds
+  /// or malformed counts fail the whole spec; nothing is applied then.
+  bool configure_sampling(std::string_view spec, std::string* error = nullptr);
+
+  /// Records `e` (stamping its seq). Sampled-out events are dropped
+  /// before touching the ring or the sink.
+  void emit(const Event& e);
+
+  /// The retained events, oldest first (at most capacity()).
+  std::vector<Event> snapshot() const;
+
+  /// Writes the retained events as JSONL, oldest first.
+  void write_jsonl(std::ostream& out) const;
+
+  std::size_t capacity() const { return capacity_; }
+  /// Events accepted (post-sampling) since construction.
+  std::uint64_t accepted() const;
+  /// Events dropped by per-kind sampling.
+  std::uint64_t sampled_out() const;
+
+  /// Appends `e` as one JSONL line (including the trailing newline).
+  static void append_jsonl(const Event& e, std::string& out);
+
+  /// Builds a log from the environment: returns null when DSP_EVENT_LOG
+  /// is unset or the sink cannot be opened; otherwise applies
+  /// DSP_EVENT_RING and DSP_EVENT_SAMPLE (malformed specs are logged and
+  /// ignored).
+  static std::unique_ptr<EventLog> from_env();
+
+ private:
+  /// Sink lines batch in line_buf_ up to this size before one fwrite.
+  static constexpr std::size_t kSinkFlushBytes = 32 * 1024;
+
+  void flush_sink_locked() DSP_REQUIRES(mu_);
+
+  const std::size_t capacity_;
+  mutable Mutex mu_;
+  std::vector<Event> ring_ DSP_GUARDED_BY(mu_);
+  std::uint64_t accepted_ DSP_GUARDED_BY(mu_) = 0;
+  std::uint64_t sampled_out_ DSP_GUARDED_BY(mu_) = 0;
+  std::array<std::uint32_t, kEventKindCount> sample_every_ DSP_GUARDED_BY(mu_);
+  std::array<std::uint32_t, kEventKindCount> seen_ DSP_GUARDED_BY(mu_);
+  std::FILE* sink_ DSP_GUARDED_BY(mu_) = nullptr;
+  std::string line_buf_ DSP_GUARDED_BY(mu_);
+};
+
+/// Result of parsing a JSONL event log.
+struct EventParseResult {
+  std::vector<Event> events;
+  std::string error;  ///< Empty on success.
+
+  bool ok() const { return error.empty(); }
+};
+
+/// Reads a log written by the JSONL sink / write_jsonl. Blank lines are
+/// skipped; a malformed line or a record with missing/ill-typed fields
+/// yields a non-empty `error` naming the line.
+EventParseResult read_event_log(std::istream& in);
+EventParseResult read_event_log(const std::string& path);
+
+}  // namespace dsp::obs

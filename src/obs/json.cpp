@@ -1,6 +1,7 @@
 #include "obs/json.h"
 
 #include <cctype>
+#include <cstdio>
 #include <cstdlib>
 
 namespace dsp::obs::json {
@@ -234,3 +235,34 @@ bool parse(std::string_view text, Value& out, std::string* error) {
 }
 
 }  // namespace dsp::obs::json
+
+namespace dsp::obs {
+
+void json_escape_append(std::string& out, std::string_view s) {
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+}
+
+std::string json_escape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  json_escape_append(out, s);
+  return out;
+}
+
+}  // namespace dsp::obs

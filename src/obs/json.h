@@ -47,3 +47,18 @@ struct Value {
 bool parse(std::string_view text, Value& out, std::string* error = nullptr);
 
 }  // namespace dsp::obs::json
+
+namespace dsp::obs {
+
+/// Appends `s` to `out` with JSON string escaping (no surrounding
+/// quotes): ", \ and control characters become their escape sequences.
+/// Every hand-rolled JSON writer in the observability layer (metrics,
+/// audit trail, Chrome traces, the event-log JSONL sink) routes string
+/// content through this, so names containing quotes/backslashes/control
+/// characters always produce valid JSON.
+void json_escape_append(std::string& out, std::string_view s);
+
+/// Returns `s` escaped for embedding inside a JSON string literal.
+std::string json_escape(std::string_view s);
+
+}  // namespace dsp::obs

@@ -5,28 +5,17 @@
 #include <cstdio>
 #include <ostream>
 
+#include "obs/json.h"
+
 namespace dsp::obs {
 
 void write_json_string(std::ostream& out, std::string_view s) {
-  out << '"';
-  for (char c : s) {
-    switch (c) {
-      case '"': out << "\\\""; break;
-      case '\\': out << "\\\\"; break;
-      case '\n': out << "\\n"; break;
-      case '\r': out << "\\r"; break;
-      case '\t': out << "\\t"; break;
-      default:
-        if (static_cast<unsigned char>(c) < 0x20) {
-          char buf[8];
-          std::snprintf(buf, sizeof buf, "\\u%04x", c);
-          out << buf;
-        } else {
-          out << c;
-        }
-    }
-  }
-  out << '"';
+  std::string buf;
+  buf.reserve(s.size() + 2);
+  buf += '"';
+  json_escape_append(buf, s);
+  buf += '"';
+  out << buf;
 }
 
 void write_json_number(std::ostream& out, double v) {
@@ -40,6 +29,9 @@ void write_json_number(std::ostream& out, double v) {
 }
 
 void Histo::add(double x) {
+  // A NaN sample would poison min/max/sum and sort unpredictably in the
+  // percentile pass; non-finite samples are dropped instead.
+  if (!std::isfinite(x)) return;
   MutexLock lock(mu_);
   if (count_ == 0) {
     min_ = max_ = x;

@@ -61,7 +61,8 @@ class Gauge {
 /// Keeps up to `max_samples` raw samples for percentile estimation; once
 /// full, new samples overwrite the oldest slot (ring buffer), so
 /// percentiles over very long streams are computed from a recent window
-/// while count/sum/min/max stay exact.
+/// while count/sum/min/max stay exact. Non-finite samples (NaN/inf) are
+/// rejected: they would poison min/max/sum and percentile sorting.
 class Histo {
  public:
   static constexpr std::size_t kDefaultMaxSamples = 8192;

@@ -1,9 +1,12 @@
 #include "obs/trace_export.h"
 
 #include <algorithm>
+#include <cstdio>
 #include <ostream>
+#include <string>
 #include <vector>
 
+#include "obs/json.h"
 #include "obs/metrics.h"
 
 namespace dsp::obs {
@@ -52,9 +55,9 @@ void write_chrome_trace(std::ostream& out, const TimelineRecorder& recorder,
     out << "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":" << k
         << ",\"tid\":0,\"args\":{\"name\":";
     if (k < node_count)
-      out << "\"node " << k << "\"";
+      write_json_string(out, "node " + std::to_string(k));
     else
-      out << "\"cluster\"";
+      write_json_string(out, "cluster");
     out << "}}";
   }
 
@@ -80,12 +83,17 @@ void write_chrome_trace(std::ostream& out, const TimelineRecorder& recorder,
 
     if (!first) out << ",\n";
     first = false;
-    out << "{\"name\":\"task " << iv.task << "\",\"cat\":\""
-        << kind_category(iv.kind) << "\",\"ph\":\"X\",\"ts\":" << iv.begin
-        << ",\"dur\":" << iv.duration() << ",\"pid\":" << iv.node
-        << ",\"tid\":" << lane << ",\"args\":{\"task\":" << iv.task
-        << ",\"kind\":\"" << kind_category(iv.kind) << "\",\"outcome\":\""
-        << outcome_name(iv.outcome) << "\"}}";
+    out << "{\"name\":";
+    write_json_string(out, "task " + std::to_string(iv.task));
+    out << ",\"cat\":";
+    write_json_string(out, kind_category(iv.kind));
+    out << ",\"ph\":\"X\",\"ts\":" << iv.begin << ",\"dur\":" << iv.duration()
+        << ",\"pid\":" << iv.node << ",\"tid\":" << lane
+        << ",\"args\":{\"task\":" << iv.task << ",\"kind\":";
+    write_json_string(out, kind_category(iv.kind));
+    out << ",\"outcome\":";
+    write_json_string(out, outcome_name(iv.outcome));
+    out << "}}";
   }
 
   // Cluster-wide instants on the extra pid.

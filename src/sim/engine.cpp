@@ -33,6 +33,14 @@ const char* to_string(PreemptResult r) {
   return "?";
 }
 
+namespace {
+
+// Node ids are small; the flight recorder stores them as int16 to keep
+// obs::Event compact.
+std::int16_t n16(int node) { return static_cast<std::int16_t>(node); }
+
+}  // namespace
+
 // Default dispatch rule: first ready, fitting task in planned-start order.
 Gid Scheduler::select_next(int node, Engine& engine,
                            const std::vector<std::uint8_t>& excluded) {
@@ -177,6 +185,17 @@ bool Engine::depends_on(Gid dependent, Gid precedent) const {
 RunMetrics Engine::run() {
   assert(!ran_ && "Engine::run may be called once");
   ran_ = true;
+  if (events_log_ == nullptr) {
+    // DSP_EVENT_LOG turns the recorder on for any run without code
+    // changes (examples, benches, the report-smoke CI stage).
+    owned_events_ = obs::EventLog::from_env();
+    events_log_ = owned_events_.get();
+  }
+  emit_event({.kind = obs::EventKind::kRunInfo,
+              .job = static_cast<std::uint32_t>(jobs_.size()),
+              .task = static_cast<Gid>(rt_.size()),
+              .a = static_cast<double>(cluster_.size()),
+              .b = static_cast<double>(cluster_.total_slots())});
   const auto wall_start = std::chrono::steady_clock::now();
   std::uint64_t events_processed = 0;
 
@@ -245,9 +264,27 @@ void Engine::record_preempt_decision(obs::PreemptDecision d) {
   }
   if (audit_) audit_->record(d);
   if (observer_) observer_->on_preempt_decision(d);
+  emit_event({.kind = obs::EventKind::kPreemptDecision,
+              .flags = static_cast<std::uint8_t>(
+                  (d.urgent ? obs::kEventFlagUrgent : 0) |
+                  (d.pp ? obs::kEventFlagPP : 0) |
+                  (static_cast<std::uint8_t>(d.outcome)
+                   << obs::kEventFlagOutcomeShift)),
+              .job = d.candidate == kInvalidGid ? ~std::uint32_t{0}
+                                                : task_job_[d.candidate],
+              .task = d.candidate,
+              .task2 = d.victim,
+              .node = n16(d.node),
+              .a = d.candidate_priority,
+              .b = d.victim_priority});
 }
 
-void Engine::on_arrival(JobId job) { pending_jobs_.push_back(job); }
+void Engine::on_arrival(JobId job) {
+  pending_jobs_.push_back(job);
+  emit_event({.kind = obs::EventKind::kJobArrival,
+              .job = job,
+              .a = static_cast<double>(jobs_[job].task_count())});
+}
 
 bool Engine::add_job_dependency(JobId predecessor, JobId successor) {
   assert(!ran_ && "declare job dependencies before run()");
@@ -320,7 +357,11 @@ void Engine::on_node_event(std::size_t index) {
       break;
   }
   // Any node event can change the effective rate seen by tasks placed on
-  // the node (including waiting ones), shifting their t_rem.
+  // the node (including waiting ones), shifting their t_rem. The recorder
+  // logs the event as applied: the post-event speed factor travels in `a`.
+  emit_event({.kind = recorder_event_kind(event.kind),
+              .node = n16(event.node),
+              .a = n.speed_factor});
   touch_priority_all();
 }
 
@@ -377,8 +418,19 @@ void Engine::fail_node(int node) {
       if (observer_)
         observer_->on_task_suspend(now_, g, node,
                                    params_.checkpoints_survive_failure);
+      emit_event({.kind = obs::EventKind::kTaskPreempt,
+                  .flags = params_.checkpoints_survive_failure
+                               ? obs::kEventFlagKeptProgress
+                               : std::uint8_t{0},
+                  .job = task_job_[g],
+                  .task = g,
+                  .node = n16(node)});
     } else if (r.state == TaskState::kHoarding) {
       if (observer_) observer_->on_hoard_evict(now_, g, node);
+      emit_event({.kind = obs::EventKind::kHoardEvict,
+                  .job = task_job_[g],
+                  .task = g,
+                  .node = n16(node)});
     }
     ++r.token;
     ++r.preemptions;
@@ -430,6 +482,12 @@ void Engine::replace_waiting_task(Gid g) {
                                return std::make_pair(rt_[a].planned_start, a) < k;
                              });
   waiting.insert(it, g);
+  emit_event({.kind = obs::EventKind::kTaskMigrate,
+              .flags = obs::kEventFlagFailover,
+              .job = task_job_[g],
+              .task = g,
+              .node = n16(old_node),
+              .node2 = n16(best)});
   if (nodes_[static_cast<std::size_t>(best)].free_slots > 0) fill_slots(best);
 }
 
@@ -444,6 +502,9 @@ void Engine::on_period() {
     }
     if (observer_)
       observer_->on_schedule_round(now_, pending.size(), placements.size());
+    emit_event({.kind = obs::EventKind::kScheduleRound,
+                .a = static_cast<double>(pending.size()),
+                .b = static_cast<double>(placements.size())});
     apply_placements(placements, pending);
     fill_all_slots();
   }
@@ -454,6 +515,11 @@ void Engine::on_period() {
 void Engine::on_epoch() {
   if (preempt_) {
     if (observer_) observer_->on_epoch(now_);
+    // Bump the ordinal before emitting so every event of this epoch —
+    // the boundary marker included — carries the new index.
+    ++epoch_index_;
+    emit_event({.kind = obs::EventKind::kEpoch,
+                .a = static_cast<double>(epoch_index_)});
     {
       DSP_PROFILE("engine.epoch_s");
       preempt_->on_epoch(*this);
@@ -531,10 +597,16 @@ void Engine::apply_placements(const std::vector<TaskPlacement>& placements,
 void Engine::enqueue_waiting(int node, Gid g) {
   TaskRt& r = rt_[g];
   NodeRt& n = nodes_[static_cast<std::size_t>(node)];
-  if (r.state == TaskState::kUnscheduled) {
+  const bool first_entry = r.state == TaskState::kUnscheduled;
+  if (first_entry) {
     r.state = TaskState::kWaiting;
     n.backlog_mi += task_info(g).size_mi;
   }
+  emit_event({.kind = obs::EventKind::kTaskEnqueue,
+              .flags = first_entry ? std::uint8_t{0} : obs::kEventFlagRequeue,
+              .job = task_job_[g],
+              .task = g,
+              .node = n16(node)});
   r.waiting_since = now_;
   touch_priority(g);
   const auto key = std::make_pair(r.planned_start, g);
@@ -631,6 +703,10 @@ void Engine::start_hoarding(int node, Gid g) {
   n.running.push_back(g);
   push_event(now_ + params_.hoard_timeout, EventKind::kHoardTimeout, g, r.token);
   if (observer_) observer_->on_hoard_start(now_, g, node);
+  emit_event({.kind = obs::EventKind::kHoardStart,
+              .job = task_job_[g],
+              .task = g,
+              .node = n16(node)});
 }
 
 void Engine::activate_hoarding(Gid g) {
@@ -651,6 +727,11 @@ void Engine::activate_hoarding(Gid g) {
       from_seconds(remaining / node_rate(r.node));
   push_event(now_ + run_time, EventKind::kFinish, g, r.token);
   if (observer_) observer_->on_task_start(now_, g, r.node, /*overhead=*/0);
+  emit_event({.kind = obs::EventKind::kTaskDispatch,
+              .flags = obs::kEventFlagHoardActivate,
+              .job = task_job_[g],
+              .task = g,
+              .node = n16(r.node)});
 }
 
 void Engine::on_hoard_timeout(Gid g, std::uint32_t token) {
@@ -676,6 +757,10 @@ void Engine::on_hoard_timeout(Gid g, std::uint32_t token) {
   r.waiting_since = now_;
   touch_priority(g);
   if (observer_) observer_->on_hoard_evict(now_, g, node);
+  emit_event({.kind = obs::EventKind::kHoardEvict,
+              .job = task_job_[g],
+              .task = g,
+              .node = n16(node)});
   fill_slots(node);
 }
 
@@ -715,6 +800,11 @@ void Engine::start_task(int node, Gid g, SimTime resume_overhead) {
   const SimTime run_time = from_seconds(remaining / node_rate(node));
   push_event(now_ + resume_overhead + run_time, EventKind::kFinish, g, r.token);
   if (observer_) observer_->on_task_start(now_, g, node, resume_overhead);
+  emit_event({.kind = obs::EventKind::kTaskDispatch,
+              .job = task_job_[g],
+              .task = g,
+              .node = n16(node),
+              .a = static_cast<double>(resume_overhead)});
 }
 
 void Engine::suspend_task(int node, Gid g) {
@@ -744,6 +834,12 @@ void Engine::suspend_task(int node, Gid g) {
   n.available += task_info(g).demand;
   ++n.free_slots;
   n.running.erase(std::find(n.running.begin(), n.running.end(), g));
+  emit_event({.kind = obs::EventKind::kTaskPreempt,
+              .flags = checkpointed ? obs::kEventFlagKeptProgress
+                                    : std::uint8_t{0},
+              .job = task_job_[g],
+              .task = g,
+              .node = n16(node)});
   enqueue_waiting(node, g);
   if (observer_) observer_->on_task_suspend(now_, g, node, checkpointed);
 }
@@ -815,6 +911,11 @@ bool Engine::migrate_task(Gid g, int to_node) {
                                return std::make_pair(rt_[a].planned_start, a) < k;
                              });
   dst.waiting.insert(it, g);
+  emit_event({.kind = obs::EventKind::kTaskMigrate,
+              .job = task_job_[g],
+              .task = g,
+              .node = n16(from),
+              .node2 = n16(to_node)});
   if (dst.free_slots > 0) fill_slots(to_node);
   return true;
 }
@@ -852,6 +953,10 @@ void Engine::on_finish(Gid g, std::uint32_t token) {
   }
 
   if (observer_) observer_->on_task_finish(now_, g, node);
+  emit_event({.kind = obs::EventKind::kTaskFinish,
+              .job = j,
+              .task = g,
+              .node = n16(node)});
 
   JobRt& jr = job_rt_[j];
   jr.serviced_mi += task_info(g).size_mi;
@@ -893,6 +998,10 @@ void Engine::complete_job(JobId j) {
                                            jobs_[j].tier(), jobs_[j].arrival(),
                                            finish, mean_wait, met});
   if (observer_) observer_->on_job_complete(now_, j);
+  emit_event({.kind = obs::EventKind::kJobComplete,
+              .flags = met ? obs::kEventFlagDeadlineMet : std::uint8_t{0},
+              .job = j,
+              .a = mean_wait});
 
   // Unblock successor jobs (cross-job dependencies).
   bool unblocked = false;

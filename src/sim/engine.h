@@ -24,11 +24,13 @@
 
 #include <cassert>
 #include <cstdint>
+#include <memory>
 #include <queue>
 #include <vector>
 
 #include "dag/job.h"
 #include "obs/audit.h"
+#include "obs/events.h"
 #include "sim/cluster.h"
 #include "sim/failures.h"
 #include "sim/observer.h"
@@ -81,6 +83,27 @@ class Engine {
   /// evaluation reported via record_preempt_decision lands in `audit`.
   /// Call before run(). The engine does not own the trail.
   void set_audit(obs::PreemptionAuditTrail* audit) { audit_ = audit; }
+
+  /// Attaches a flight recorder: every engine transition (arrivals,
+  /// dispatches, preemptions, node events, epochs, ...) is emitted as an
+  /// obs::Event. Call before run(); the engine does not own the log.
+  /// When no log is attached, run() builds one from the environment
+  /// (DSP_EVENT_LOG et al., see obs/events.h) and owns it for the run.
+  void set_event_log(obs::EventLog* log) { events_log_ = log; }
+  /// The attached recorder, if any (policies use this to emit their own
+  /// events through emit_event).
+  obs::EventLog* event_log() const { return events_log_; }
+
+  /// Stamps `e` with the current simulation time and epoch ordinal and
+  /// records it. No-op without an attached log. Policies and schedulers
+  /// emit through this so their events interleave consistently with the
+  /// engine's own.
+  void emit_event(obs::Event e) {
+    if (events_log_ == nullptr) return;
+    e.time = now_;
+    e.epoch = epoch_index_;
+    events_log_->emit(e);
+  }
 
   /// Installs a failure/straggler injection plan. Call before run().
   void set_failure_plan(const FailurePlan& plan);
@@ -470,6 +493,9 @@ class Engine {
   EngineParams params_;
   SimObserver* observer_ = nullptr;
   obs::PreemptionAuditTrail* audit_ = nullptr;
+  obs::EventLog* events_log_ = nullptr;
+  std::unique_ptr<obs::EventLog> owned_events_;  // from_env() in run()
+  std::uint32_t epoch_index_ = 0;  // epoch ordinal stamped onto events
 
   // Flat task indexing.
   std::vector<Gid> job_offset_;       // per job: first gid

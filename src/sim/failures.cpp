@@ -15,6 +15,16 @@ const char* to_string(NodeEvent::Kind k) {
   return "?";
 }
 
+obs::EventKind recorder_event_kind(NodeEvent::Kind k) {
+  switch (k) {
+    case NodeEvent::Kind::kFail: return obs::EventKind::kNodeDown;
+    case NodeEvent::Kind::kRecover: return obs::EventKind::kNodeUp;
+    case NodeEvent::Kind::kSlowdown:
+    case NodeEvent::Kind::kRestoreSpeed: return obs::EventKind::kNodeRate;
+  }
+  return obs::EventKind::kNodeRate;
+}
+
 void FailurePlan::add_outage(int node, SimTime at, SimTime duration) {
   assert(node >= 0 && duration > 0);
   events_.push_back({at, node, NodeEvent::Kind::kFail, 1.0});

@@ -16,6 +16,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "obs/events.h"
 #include "sim/cluster.h"
 #include "util/rng.h"
 #include "util/time.h"
@@ -37,6 +38,12 @@ struct NodeEvent {
 };
 
 const char* to_string(NodeEvent::Kind k);
+
+/// Flight-recorder kind for an injected node event: kFail -> kNodeDown,
+/// kRecover -> kNodeUp, and both rate changes -> kNodeRate (the factor
+/// travels in the event's `a` payload). The engine uses this to emit one
+/// recorder event per applied NodeEvent.
+obs::EventKind recorder_event_kind(NodeEvent::Kind k);
 
 /// An injection schedule: outages and slowdowns over the run.
 class FailurePlan {

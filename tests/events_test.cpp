@@ -1,0 +1,232 @@
+// Flight recorder tests: JSONL schema round-trip, ring-buffer wrap,
+// per-kind sampling, the engine's emit wiring, and the determinism
+// property dsp_report's diff mode relies on — same-seed runs produce
+// bit-identical event streams at any thread count.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdio>
+#include <map>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/dsp_scheduler.h"
+#include "core/preemption.h"
+#include "obs/events.h"
+#include "obs/json.h"
+#include "sim/engine.h"
+#include "test_util.h"
+#include "trace/workload.h"
+
+namespace dsp {
+namespace {
+
+EngineParams fast_params() {
+  EngineParams p;
+  p.period = 1 * kSecond;
+  p.epoch = 500 * kMillisecond;
+  return p;
+}
+
+WorkloadConfig contended_config(std::size_t jobs) {
+  WorkloadConfig cfg;
+  cfg.job_count = jobs;
+  cfg.task_scale = 0.01;
+  cfg.cpu_max = 2.0;
+  cfg.mem_max = 1.8;
+  cfg.min_arrival_rate = 30.0;
+  cfg.max_arrival_rate = 40.0;
+  return cfg;
+}
+
+// ---------------------------------------------------------------------
+// EventLog unit behavior
+// ---------------------------------------------------------------------
+
+TEST(EventLogTest, AppendJsonlMatchesSchema) {
+  obs::Event e{.time = 1500000,
+               .seq = 7,
+               .epoch = 3,
+               .kind = obs::EventKind::kTaskDispatch,
+               .flags = obs::kEventFlagHoardActivate,
+               .job = 2,
+               .task = 41,
+               .node = 5,
+               .a = 0.25};
+  std::string line;
+  obs::EventLog::append_jsonl(e, line);
+  ASSERT_FALSE(line.empty());
+  EXPECT_EQ(line.back(), '\n');
+
+  obs::json::Value rec;
+  std::string error;
+  ASSERT_TRUE(obs::json::parse(line, rec, &error)) << error;
+  EXPECT_EQ(rec.find("t")->number, 1500000.0);
+  EXPECT_EQ(rec.find("seq")->number, 7.0);
+  EXPECT_EQ(rec.find("epoch")->number, 3.0);
+  EXPECT_EQ(rec.find("kind")->string, "task_dispatch");
+  EXPECT_EQ(rec.find("flags")->number, 1.0);
+  EXPECT_EQ(rec.find("job")->number, 2.0);
+  EXPECT_EQ(rec.find("task")->number, 41.0);
+  EXPECT_EQ(rec.find("task2")->number, -1.0);  // unset ids serialize as -1
+  EXPECT_EQ(rec.find("node")->number, 5.0);
+  EXPECT_EQ(rec.find("node2")->number, -1.0);
+  EXPECT_EQ(rec.find("a")->number, 0.25);
+  EXPECT_EQ(rec.find("b")->number, 0.0);
+}
+
+TEST(EventLogTest, NonFinitePayloadSerializesAsNull) {
+  obs::Event e{.kind = obs::EventKind::kEpoch, .a = NAN, .b = 1.0 / 0.0};
+  std::string line;
+  obs::EventLog::append_jsonl(e, line);
+  EXPECT_NE(line.find("\"a\":null"), std::string::npos) << line;
+  EXPECT_NE(line.find("\"b\":null"), std::string::npos) << line;
+
+  // The reader maps null payloads back to 0.
+  std::istringstream in(line);
+  const obs::EventParseResult parsed = obs::read_event_log(in);
+  ASSERT_TRUE(parsed.ok()) << parsed.error;
+  ASSERT_EQ(parsed.events.size(), 1u);
+  EXPECT_EQ(parsed.events[0].a, 0.0);
+  EXPECT_EQ(parsed.events[0].b, 0.0);
+}
+
+TEST(EventLogTest, EmitAssignsDenseSequenceAndRingWraps) {
+  obs::EventLog log(4);
+  for (int i = 0; i < 10; ++i)
+    log.emit({.time = i, .kind = obs::EventKind::kTaskFinish,
+              .task = static_cast<Gid>(i)});
+  EXPECT_EQ(log.accepted(), 10u);
+
+  const std::vector<obs::Event> kept = log.snapshot();
+  ASSERT_EQ(kept.size(), 4u);  // ring keeps the newest capacity() events
+  for (std::size_t i = 0; i < kept.size(); ++i) {
+    EXPECT_EQ(kept[i].seq, 6 + i);
+    EXPECT_EQ(kept[i].task, static_cast<Gid>(6 + i));
+  }
+}
+
+TEST(EventLogTest, PerKindSamplingKeepsEveryNth) {
+  obs::EventLog log(64);
+  log.set_sample_every(obs::EventKind::kTaskDispatch, 3);
+  for (int i = 0; i < 9; ++i)
+    log.emit({.kind = obs::EventKind::kTaskDispatch});
+  log.emit({.kind = obs::EventKind::kJobArrival});  // unsampled kind
+
+  // Dispatches 0, 3, 6 survive; the arrival is untouched.
+  EXPECT_EQ(log.accepted(), 4u);
+  EXPECT_EQ(log.sampled_out(), 6u);
+  // seq stays dense over accepted events so diffs line up.
+  const std::vector<obs::Event> kept = log.snapshot();
+  ASSERT_EQ(kept.size(), 4u);
+  EXPECT_EQ(kept.back().seq, 3u);
+}
+
+TEST(EventLogTest, ConfigureSamplingParsesAndRejects) {
+  obs::EventLog log(8);
+  std::string error;
+  EXPECT_TRUE(log.configure_sampling("task_dispatch=10, epoch=2", &error))
+      << error;
+  EXPECT_FALSE(log.configure_sampling("no_such_kind=4", &error));
+  EXPECT_NE(error.find("no_such_kind"), std::string::npos);
+  EXPECT_FALSE(log.configure_sampling("task_dispatch=zero", &error));
+  EXPECT_FALSE(log.configure_sampling("task_dispatch=0", &error));
+}
+
+TEST(EventLogTest, SinkRoundTripsThroughReader) {
+  const std::string path =
+      ::testing::TempDir() + "/events_sink_round_trip.jsonl";
+  {
+    obs::EventLog log(8);
+    ASSERT_TRUE(log.open_sink(path));
+    log.emit({.time = 10, .kind = obs::EventKind::kJobArrival, .job = 1,
+              .a = 5.0});
+    log.emit({.time = 20, .kind = obs::EventKind::kTaskDispatch, .job = 1,
+              .task = 3, .node = 2, .a = 0.125});
+    log.emit({.time = 30, .kind = obs::EventKind::kTaskMigrate, .task = 3,
+              .node = 2, .node2 = 4});
+    log.close_sink();  // flushes the batched lines
+  }
+  const obs::EventParseResult parsed = obs::read_event_log(path);
+  ASSERT_TRUE(parsed.ok()) << parsed.error;
+  ASSERT_EQ(parsed.events.size(), 3u);
+  EXPECT_EQ(parsed.events[0].kind, obs::EventKind::kJobArrival);
+  EXPECT_EQ(parsed.events[1].a, 0.125);
+  EXPECT_EQ(parsed.events[2].node2, 4);
+  std::remove(path.c_str());
+}
+
+TEST(EventLogTest, ReaderNamesTheBadLine) {
+  std::istringstream in(
+      "{\"t\":1,\"seq\":0,\"epoch\":0,\"kind\":\"epoch\",\"flags\":0,"
+      "\"job\":-1,\"task\":-1,\"task2\":-1,\"node\":-1,\"node2\":-1,"
+      "\"a\":0,\"b\":0}\n"
+      "not json\n");
+  const obs::EventParseResult parsed = obs::read_event_log(in);
+  EXPECT_FALSE(parsed.ok());
+  EXPECT_NE(parsed.error.find("line 2"), std::string::npos) << parsed.error;
+}
+
+// ---------------------------------------------------------------------
+// Engine wiring
+// ---------------------------------------------------------------------
+
+/// One contended run with the recorder attached; returns the stream.
+std::vector<obs::Event> record_run(int threads, std::uint64_t seed) {
+  const JobSet jobs = WorkloadGenerator(contended_config(8), seed).generate();
+  DspScheduler sched;
+  DspParams params;
+  params.threads = threads;
+  DspPreemption policy(params);
+  Engine engine(ClusterSpec::uniform(2, 1800.0, 2.0, 2), jobs, sched, &policy,
+                fast_params());
+  obs::EventLog log(1 << 14);
+  engine.set_event_log(&log);
+  engine.run();
+  return log.snapshot();
+}
+
+TEST(EngineEventsTest, RunEmitsCoherentStream) {
+  const std::vector<obs::Event> events = record_run(1, 331);
+  ASSERT_FALSE(events.empty());
+  EXPECT_EQ(events.front().kind, obs::EventKind::kRunInfo);
+
+  std::map<obs::EventKind, std::size_t> counts;
+  SimTime last_time = -1;
+  std::uint64_t expect_seq = 0;
+  for (const obs::Event& e : events) {
+    ++counts[e.kind];
+    EXPECT_GE(e.time, last_time);  // sim time is monotone
+    last_time = e.time;
+    EXPECT_EQ(e.seq, expect_seq++);  // seq is dense
+  }
+
+  const std::size_t total_tasks =
+      static_cast<std::size_t>(events.front().task);
+  EXPECT_EQ(counts[obs::EventKind::kJobArrival], 8u);
+  EXPECT_EQ(counts[obs::EventKind::kJobComplete], 8u);
+  // Every task finishes exactly once; dispatches >= finishes because
+  // preempted tasks re-dispatch.
+  EXPECT_EQ(counts[obs::EventKind::kTaskFinish], total_tasks);
+  EXPECT_GE(counts[obs::EventKind::kTaskDispatch], total_tasks);
+  EXPECT_GT(counts[obs::EventKind::kEpoch], 0u);
+  EXPECT_GT(counts[obs::EventKind::kScheduleRound], 0u);
+  // The contended cluster forces Algorithm-1 activity.
+  EXPECT_GT(counts[obs::EventKind::kPreemptDecision], 0u);
+}
+
+TEST(EngineEventsTest, StreamIsIdenticalAcrossThreadCounts) {
+  const std::vector<obs::Event> one = record_run(1, 331);
+  const std::vector<obs::Event> four = record_run(4, 331);
+  ASSERT_EQ(one.size(), four.size());
+  for (std::size_t i = 0; i < one.size(); ++i) {
+    std::string a, b;
+    obs::EventLog::append_jsonl(one[i], a);
+    obs::EventLog::append_jsonl(four[i], b);
+    ASSERT_EQ(a, b) << "event " << i << " diverged";
+  }
+}
+
+}  // namespace
+}  // namespace dsp

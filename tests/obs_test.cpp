@@ -4,6 +4,8 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <cmath>
+#include <limits>
 #include <sstream>
 #include <thread>
 #include <vector>
@@ -87,6 +89,49 @@ TEST(MetricsRegistryTest, HistogramRingKeepsExactAggregates) {
   EXPECT_DOUBLE_EQ(s.max, 10.0);
   // Percentiles come from the retained window {7, 8, 9, 10}.
   EXPECT_NEAR(s.p50, 8.5, 1e-9);
+}
+
+TEST(MetricsRegistryTest, EmptyHistogramSnapshotIsAllZero) {
+  obs::Histo h;
+  const auto s = h.snapshot();
+  EXPECT_EQ(s.count, 0u);
+  EXPECT_DOUBLE_EQ(s.sum, 0.0);
+  EXPECT_DOUBLE_EQ(s.min, 0.0);
+  EXPECT_DOUBLE_EQ(s.max, 0.0);
+  EXPECT_DOUBLE_EQ(s.mean, 0.0);
+  // Percentiles of nothing are 0, not NaN — report tables render them.
+  EXPECT_DOUBLE_EQ(s.p50, 0.0);
+  EXPECT_DOUBLE_EQ(s.p95, 0.0);
+  EXPECT_DOUBLE_EQ(s.p99, 0.0);
+}
+
+TEST(MetricsRegistryTest, SingleSampleHistogramPercentilesCollapse) {
+  obs::Histo h;
+  h.add(3.25);
+  const auto s = h.snapshot();
+  EXPECT_EQ(s.count, 1u);
+  EXPECT_DOUBLE_EQ(s.min, 3.25);
+  EXPECT_DOUBLE_EQ(s.max, 3.25);
+  EXPECT_DOUBLE_EQ(s.mean, 3.25);
+  EXPECT_DOUBLE_EQ(s.p50, 3.25);
+  EXPECT_DOUBLE_EQ(s.p95, 3.25);
+  EXPECT_DOUBLE_EQ(s.p99, 3.25);
+}
+
+TEST(MetricsRegistryTest, HistogramRejectsNonFiniteSamples) {
+  obs::Histo h;
+  h.add(1.0);
+  h.add(std::nan(""));
+  h.add(std::numeric_limits<double>::infinity());
+  h.add(-std::numeric_limits<double>::infinity());
+  h.add(2.0);
+  const auto s = h.snapshot();
+  // The non-finite samples are dropped entirely: they would poison
+  // min/max/sum and the percentile sort.
+  EXPECT_EQ(s.count, 2u);
+  EXPECT_DOUBLE_EQ(s.sum, 3.0);
+  EXPECT_DOUBLE_EQ(s.min, 1.0);
+  EXPECT_DOUBLE_EQ(s.max, 2.0);
 }
 
 TEST(MetricsRegistryTest, ResetZeroesInPlaceWithoutInvalidatingPointers) {
@@ -179,6 +224,35 @@ TEST(JsonParserTest, RejectsTruncatedDocuments) {
         << "accepted truncated document: " << doc;
     EXPECT_NE(error.find("offset"), std::string::npos) << error;
   }
+}
+
+TEST(JsonEscapeTest, RoundTripsThroughParser) {
+  // Every hand-rolled JSON writer in obs/ routes strings through
+  // json_escape; hostile content must survive a parse round-trip.
+  const std::string hostile[] = {
+      "plain",
+      "with \"quotes\" and \\backslashes\\",
+      "line\nbreaks\r\nand\ttabs",
+      std::string("embedded\x01" "control\x1f" " chars"),
+      "trailing backslash \\",
+      "",
+  };
+  for (const std::string& s : hostile) {
+    const std::string doc = "{\"k\":\"" + obs::json_escape(s) + "\"}";
+    obs::json::Value root;
+    std::string error;
+    ASSERT_TRUE(obs::json::parse(doc, root, &error)) << doc << ": " << error;
+    const obs::json::Value* k = root.find("k");
+    ASSERT_NE(k, nullptr);
+    EXPECT_EQ(k->string, s) << doc;
+  }
+}
+
+TEST(JsonEscapeTest, WriteJsonStringMatchesEscapeHelper) {
+  // write_json_string is the stream-facing wrapper over the same escaper.
+  std::ostringstream os;
+  obs::write_json_string(os, "a\"b\\c\nd");
+  EXPECT_EQ(os.str(), "\"" + obs::json_escape("a\"b\\c\nd") + "\"");
 }
 
 TEST(JsonParserTest, RejectsDeepNestingInsteadOfOverflowing) {

@@ -20,6 +20,14 @@
 #            fixtures, with --json output validated by json_check
 #   bench-smoke  micro_bench hot-path benchmarks at a tiny min_time,
 #            with the --json report validated by json_check
+#   bench-diff  micro_bench scalars compared against the committed
+#            bench/BENCH_hotpath.json baseline via bench_diff; the
+#            threshold is generous (CI machines are noisy) — it
+#            catches order-of-magnitude slips, not drift
+#   report-smoke  flight recorder end to end: quickstart with
+#            DSP_EVENT_LOG, dsp_report --json validated by json_check,
+#            and a first-divergence diff of DSP_THREADS=1 vs =4
+#            same-seed logs, which must report zero divergence
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -153,6 +161,46 @@ if ! skipped bench-smoke; then
     scalars.BM_ComputeAllIncremental_20_ns \
     registry.counters registry.gauges registry.histograms
   rm -rf "$smoke_tmp"
+fi
+
+if ! skipped bench-diff; then
+  banner "bench diff (vs committed BENCH_hotpath.json)"
+  diff_tmp=$(mktemp -d)
+  build/bench/micro_bench \
+    --benchmark_filter='BM_Simplex|BM_PriorityComputeJob|BM_ComputeAll' \
+    --benchmark_min_time=0.05 \
+    --json "$diff_tmp/micro.json" >/dev/null
+  build/tools/bench_diff bench/BENCH_hotpath.json "$diff_tmp/micro.json" \
+    --threshold 100 --json "$diff_tmp/diff.json"
+  build/tools/json_check "$diff_tmp/diff.json" \
+    report compared regressions threshold_pct scalars
+  rm -rf "$diff_tmp"
+fi
+
+if ! skipped report-smoke; then
+  banner "report smoke (flight recorder + dsp_report)"
+  report_tmp=$(mktemp -d)
+  REPORT=build/tools/dsp_report
+  JSON_CHECK=build/tools/json_check
+
+  echo "quickstart with DSP_EVENT_LOG (threads 1 and 4)"
+  DSP_EVENT_LOG="$report_tmp/t1.jsonl" DSP_THREADS=1 \
+    build/examples/quickstart >/dev/null
+  DSP_EVENT_LOG="$report_tmp/t4.jsonl" DSP_THREADS=4 \
+    build/examples/quickstart >/dev/null
+
+  echo "dsp_report --json"
+  "$REPORT" "$report_tmp/t1.jsonl" --json "$report_tmp/report.json" >/dev/null
+  "$JSON_CHECK" "$report_tmp/report.json" \
+    report events jobs.count jobs.completed queueing_delay_s.count \
+    preempt_latency_s.count preempt.decisions utilization.epochs \
+    utilization.mean per_job
+
+  echo "dsp_report diff (same seed, threads 1 vs 4: must be identical)"
+  "$REPORT" diff "$report_tmp/t1.jsonl" "$report_tmp/t4.jsonl" \
+    --json "$report_tmp/diff.json"
+  "$JSON_CHECK" "$report_tmp/diff.json" report divergence events_a events_b
+  rm -rf "$report_tmp"
 fi
 
 echo
