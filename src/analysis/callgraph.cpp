@@ -1,0 +1,202 @@
+#include "analysis/callgraph.h"
+
+#include <algorithm>
+#include <cctype>
+#include <sstream>
+
+namespace dsp::analysis {
+namespace {
+
+bool ident_char(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+
+/// Whole-word occurrence of `word` in `text` ("CondVar" in "CondVar" yes,
+/// "CondVar" in "std::condition_variable" no).
+bool contains_word(const std::string& text, const std::string& word) {
+  if (word.empty()) return false;
+  for (std::size_t pos = text.find(word); pos != std::string::npos;
+       pos = text.find(word, pos + 1)) {
+    const bool left_ok = pos == 0 || !ident_char(text[pos - 1]);
+    const std::size_t end = pos + word.size();
+    const bool right_ok = end == text.size() || !ident_char(text[end]);
+    if (left_ok && right_ok) return true;
+  }
+  return false;
+}
+
+/// Prepends `step` to `chain`.
+Chain prepend(const ChainStep& step, const Chain& chain) {
+  Chain out;
+  out.reserve(chain.size() + 1);
+  out.push_back(step);
+  out.insert(out.end(), chain.begin(), chain.end());
+  return out;
+}
+
+}  // namespace
+
+bool is_guarded_member(const CppIndex& index, const std::string& member) {
+  if (index.guarded_members.count(member) > 0) return true;
+  const std::size_t sep = member.rfind("::");
+  const std::string bare =
+      sep == std::string::npos ? member : member.substr(sep + 2);
+  return index.guarded_bare.count(bare) > 0;
+}
+
+std::string format_chain(const Chain& chain) {
+  std::ostringstream out;
+  for (std::size_t i = 0; i < chain.size(); ++i) {
+    if (i > 0) out << " -> ";
+    out << chain[i].note << " (" << chain[i].file << ":" << chain[i].line
+        << ")";
+  }
+  return out.str();
+}
+
+CallGraph::CallGraph(const CppIndex& index)
+    : index_(&index),
+      summaries_(index.functions.size()),
+      state_(index.functions.size(), 0) {}
+
+int CallGraph::resolve_callback(const FunctionInfo& caller,
+                                const std::string& name) const {
+  const auto it = index_->by_name.find(name);
+  if (it == index_->by_name.end()) return -1;
+  // Prefer the lambda assigned inside the calling function; fall back to
+  // any unique function with that name (a named free-function callback).
+  for (const int idx : it->second) {
+    const FunctionInfo& f = index_->functions[idx];
+    if (f.is_lambda && f.parent == caller.qual) return idx;
+  }
+  if (it->second.size() == 1) return it->second[0];
+  return -1;
+}
+
+std::vector<int> CallGraph::resolve(const FunctionInfo& caller,
+                                    const CallSite& site) const {
+  std::vector<int> out;
+  const auto it = index_->by_name.find(site.name);
+  if (it == index_->by_name.end()) return out;
+  const std::vector<int>& candidates = it->second;
+
+  // A lambda defined in this function shadows everything else.
+  for (const int idx : candidates) {
+    const FunctionInfo& f = index_->functions[idx];
+    if (f.is_lambda && f.parent == caller.qual) return {idx};
+  }
+
+  if (!site.this_call && !site.object.empty()) {
+    // Receiver-type narrowing: when the receiver is a declared member of
+    // the caller's class, keep only candidates whose class names appear
+    // in the member's type text.
+    if (!caller.cls.empty()) {
+      const auto type_it =
+          index_->member_types.find({caller.cls, site.object});
+      if (type_it != index_->member_types.end()) {
+        for (const int idx : candidates) {
+          const FunctionInfo& f = index_->functions[idx];
+          if (f.is_lambda) continue;
+          if (!f.cls.empty() && contains_word(type_it->second, f.cls))
+            out.push_back(idx);
+        }
+        return out;  // possibly empty: narrowed away (external type)
+      }
+    }
+    // Unknown receiver: every non-lambda method candidate survives.
+    for (const int idx : candidates) {
+      const FunctionInfo& f = index_->functions[idx];
+      if (!f.is_lambda) out.push_back(idx);
+    }
+    return out;
+  }
+
+  // No receiver (or this->): same-class methods first, else free
+  // functions and other-file lambdas are out of reach.
+  std::vector<int> same_class;
+  std::vector<int> free_fns;
+  for (const int idx : candidates) {
+    const FunctionInfo& f = index_->functions[idx];
+    if (f.is_lambda) continue;
+    if (!caller.cls.empty() && f.cls == caller.cls) same_class.push_back(idx);
+    if (f.cls.empty()) free_fns.push_back(idx);
+  }
+  if (!same_class.empty()) return same_class;
+  return free_fns;
+}
+
+const FunctionSummary& CallGraph::summary(int fn) {
+  compute(fn);
+  return summaries_[fn];
+}
+
+void CallGraph::compute(int fn) {
+  if (state_[fn] != 0) return;  // done, or in progress (cycle: stay empty)
+  state_[fn] = 1;
+
+  const FunctionInfo& info = index_->functions[fn];
+  FunctionSummary& s = summaries_[fn];
+
+  for (const LockAcq& acq : info.acquisitions) {
+    if (s.acquires.count(acq.lock) > 0) continue;
+    FunctionSummary::LockInfo li;
+    li.chain = {{info.file, acq.line, info.qual, "acquires " + acq.lock}};
+    li.via_this = true;
+    s.acquires.emplace(acq.lock, std::move(li));
+  }
+  if (!info.io_sites.empty() && s.io.empty()) {
+    const SinkSite& site = info.io_sites.front();
+    s.io.push_back(
+        {{{info.file, site.line, info.qual, "does I/O via " + site.token}},
+         site.token});
+  }
+  for (const SinkSite& site : info.nondet_sites) {
+    if (s.nondet.count(site.token) > 0) continue;
+    s.nondet.emplace(
+        site.token,
+        FunctionSummary::SinkInfo{
+            {{info.file, site.line, info.qual, "uses " + site.token}},
+            site.token});
+  }
+  for (const WriteSite& w : info.member_writes) {
+    if (w.under_lock || is_guarded_member(*index_, w.member)) continue;
+    if (s.unguarded_writes.count(w.member) > 0) continue;
+    s.unguarded_writes.emplace(
+        w.member,
+        Chain{{info.file, w.line, info.qual, "writes " + w.member}});
+  }
+
+  for (const CallSite& call : info.calls) {
+    for (const int target : resolve(info, call)) {
+      if (target == fn) continue;
+      compute(target);
+      if (state_[target] == 1) continue;  // recursion: skip the back edge
+      const FunctionSummary& ts = summaries_[target];
+      const FunctionInfo& tinfo = index_->functions[target];
+      const ChainStep step{info.file, call.line, info.qual,
+                           "calls " + tinfo.qual};
+      for (const auto& [lock, li] : ts.acquires) {
+        if (s.acquires.count(lock) > 0) continue;
+        FunctionSummary::LockInfo merged;
+        merged.chain = prepend(step, li.chain);
+        merged.via_this = li.via_this && call.this_call;
+        s.acquires.emplace(lock, std::move(merged));
+      }
+      if (s.io.empty() && !ts.io.empty())
+        s.io.push_back({prepend(step, ts.io.front().chain),
+                        ts.io.front().token});
+      for (const auto& [token, si] : ts.nondet) {
+        if (s.nondet.count(token) > 0) continue;
+        s.nondet.emplace(token, FunctionSummary::SinkInfo{
+                                    prepend(step, si.chain), token});
+      }
+      for (const auto& [member, chain] : ts.unguarded_writes) {
+        if (s.unguarded_writes.count(member) > 0) continue;
+        s.unguarded_writes.emplace(member, prepend(step, chain));
+      }
+    }
+  }
+  state_[fn] = 2;
+}
+
+}  // namespace dsp::analysis

@@ -1,0 +1,96 @@
+// Call graph and lock-set propagation over a CppIndex.
+//
+// Each indexed function gets a FunctionSummary: the locks its call tree
+// can acquire, the I/O and nondeterminism sinks it can reach, and the
+// unguarded member writes it can perform — each with one representative
+// call chain as evidence. Summaries are computed by a memoized DFS with
+// an on-stack cycle guard (recursive edges contribute nothing, which is
+// the conservative choice for evidence chains).
+//
+// Call-site resolution is by simple name with receiver-type narrowing:
+// when the receiver is a known class member, candidates whose class does
+// not appear in the member's declared type text are dropped (so
+// `cv_.wait(...)` on a std::condition_variable member never resolves to
+// CondVar::wait). Unknown receivers keep every candidate — the analysis
+// overapproximates rather than miss an edge.
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "analysis/cpp_index.h"
+
+namespace dsp::analysis {
+
+/// One hop of an evidence chain, renderable as "file:line func: note".
+struct ChainStep {
+  std::string file;
+  int line = 0;
+  std::string func;  ///< Qualified name of the function the hop is in.
+  std::string note;  ///< "calls Foo::bar", "acquires EventLog::mu_", ...
+};
+using Chain = std::vector<ChainStep>;
+
+/// What a function's whole call tree can do.
+struct FunctionSummary {
+  struct LockInfo {
+    Chain chain;  ///< This function down to the acquisition site.
+    /// Every hop of the chain is a this-call, so the acquisition happens
+    /// on the same object instance as the entry function's `this`.
+    bool via_this = true;
+  };
+  /// Qualified lock id -> first chain that acquires it.
+  std::map<std::string, LockInfo> acquires;
+
+  struct SinkInfo {
+    Chain chain;
+    std::string token;
+  };
+  /// First reachable blocking/console-I/O sink, if any.
+  std::vector<SinkInfo> io;
+  /// Nondeterminism token -> first chain reaching it.
+  std::map<std::string, SinkInfo> nondet;
+  /// Unguarded, lock-free member write -> first chain reaching it.
+  std::map<std::string, Chain> unguarded_writes;
+};
+
+class CallGraph {
+ public:
+  explicit CallGraph(const CppIndex& index);
+
+  const CppIndex& index() const { return *index_; }
+
+  /// Summary for functions[fn]; computed on first use, memoized after.
+  const FunctionSummary& summary(int fn);
+
+  /// Candidate callees for a call site inside `caller` (indices into
+  /// index().functions). Empty when the callee is external or narrowed
+  /// away.
+  std::vector<int> resolve(const FunctionInfo& caller,
+                           const CallSite& site) const;
+
+  /// Resolves a parallel_for callback name to the lambda (or function)
+  /// it denotes, preferring lambdas defined inside `caller`. -1 when
+  /// unknown.
+  int resolve_callback(const FunctionInfo& caller,
+                       const std::string& name) const;
+
+ private:
+  void compute(int fn);
+
+  const CppIndex* index_;
+  std::vector<FunctionSummary> summaries_;
+  std::vector<int> state_;  ///< 0 = new, 1 = in progress, 2 = done.
+};
+
+/// True when `member` ("Cls::m_" or bare) is covered by a
+/// DSP_GUARDED_BY / atomic / thread_local declaration anywhere in the
+/// index.
+bool is_guarded_member(const CppIndex& index, const std::string& member);
+
+/// Renders a chain as a single-line arrow path:
+///   "f (a.cpp:3) -> g (a.cpp:9) -> acquires mu_b (a.cpp:15)".
+std::string format_chain(const Chain& chain);
+
+}  // namespace dsp::analysis

@@ -1,0 +1,361 @@
+#include "analysis/lockflow.h"
+
+#include <algorithm>
+#include <cctype>
+#include <map>
+#include <set>
+#include <sstream>
+
+#include "analysis/callgraph.h"
+#include "analysis/cpp_lex.h"
+
+namespace dsp::analysis {
+namespace {
+
+/// D006 polices the deterministic hot path, like D003/C003: src/core and
+/// src/sim, plus out-of-tree files so the seeded fixtures fire.
+bool in_flow_scope(const std::string& path) {
+  return path_has(path, "src/core") || path_has(path, "src/sim") ||
+         !path_has(path, "src");
+}
+
+bool is_ident(const std::string& s) {
+  if (s.empty() || std::isdigit(static_cast<unsigned char>(s[0]))) return false;
+  return std::all_of(s.begin(), s.end(), [](char c) {
+    return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+  });
+}
+
+std::string normalize_expr(const std::string& s) {
+  std::string out;
+  for (const char c : s)
+    if (!std::isspace(static_cast<unsigned char>(c))) out += c;
+  while (!out.empty() && (out.front() == '&' || out.front() == '*'))
+    out.erase(out.begin());
+  if (out.rfind("this->", 0) == 0) out.erase(0, 6);
+  return out;
+}
+
+/// Same member-qualification rule the indexer uses, applied in the
+/// caller's class context (for L004 argument substitution).
+std::string qualify(const CppIndex& index, const std::string& expr,
+                    const std::string& cls) {
+  if (cls.empty() || !is_ident(expr)) return expr;
+  if (index.member_types.count({cls, expr}) > 0 || expr.back() == '_')
+    return cls + "::" + expr;
+  return expr;
+}
+
+/// Drops the trailing '(' regex matches keep ("printf(" -> "printf").
+std::string pretty_token(std::string token) {
+  if (!token.empty() && token.back() == '(') token.pop_back();
+  return token;
+}
+
+std::string lock_class(const std::string& lock) {
+  const std::size_t sep = lock.rfind("::");
+  return sep == std::string::npos ? "" : lock.substr(0, sep);
+}
+
+std::string subject_of(const Chain& chain) {
+  return chain.front().file + ":" + std::to_string(chain.front().line);
+}
+
+/// A `dsp-tidy: allow(ID)` on any line of the evidence chain silences
+/// the finding.
+bool chain_allowed(const CppIndex& index, const Chain& chain,
+                   std::string_view id) {
+  for (const ChainStep& step : chain)
+    if (index.allowed_at(step.file, step.line, id)) return true;
+  return false;
+}
+
+/// One directed lock-order edge A -> B with its evidence chain.
+struct LockEdge {
+  Chain chain;
+};
+
+class FlowAnalyzer {
+ public:
+  FlowAnalyzer(CppIndex& index, Report& report)
+      : index_(index), graph_(index), report_(report) {}
+
+  void run();
+
+ private:
+  void collect_edges_and_l001_l002_l004();
+  void check_l000();
+  void check_l003();
+  void check_d006();
+
+  void add_edge(const std::string& from, const std::string& to, Chain chain);
+
+  CppIndex& index_;
+  CallGraph graph_;
+  Report& report_;
+
+  /// (held lock, acquired lock) -> first evidence chain.
+  std::map<std::pair<std::string, std::string>, LockEdge> edges_;
+  std::set<std::string> emitted_;  ///< Dedupe keys for findings.
+};
+
+void FlowAnalyzer::add_edge(const std::string& from, const std::string& to,
+                            Chain chain) {
+  const auto key = std::make_pair(from, to);
+  if (edges_.count(key) > 0) return;
+  edges_.emplace(key, LockEdge{std::move(chain)});
+}
+
+void FlowAnalyzer::collect_edges_and_l001_l002_l004() {
+  for (std::size_t i = 0; i < index_.functions.size(); ++i) {
+    const FunctionInfo& fn = index_.functions[i];
+
+    // Direct acquisitions while already holding something.
+    for (const LockAcq& acq : fn.acquisitions) {
+      for (const std::string& held : acq.held_before) {
+        Chain chain = {{fn.file, acq.line, fn.qual,
+                        "holding " + held + ", acquires " + acq.lock}};
+        if (held == acq.lock) {
+          if (!chain_allowed(index_, chain, "L001") &&
+              emitted_.insert("L001@" + subject_of(chain) + acq.lock).second)
+            report_.add("L001", subject_of(chain),
+                        "non-recursive mutex " + acq.lock +
+                            " re-acquired while already held: " +
+                            format_chain(chain));
+        } else {
+          add_edge(held, acq.lock, std::move(chain));
+        }
+      }
+    }
+
+    // Calls made while holding locks: propagate callee summaries.
+    for (const CallSite& call : fn.calls) {
+      const std::vector<int> targets = graph_.resolve(fn, call);
+
+      // L004 needs the call even when nothing is held.
+      for (const int t : targets) {
+        const FunctionInfo& callee = index_.functions[t];
+        for (const std::string& req : callee.requires_locks) {
+          std::string resolved = req;
+          const auto pit = std::find(callee.params.begin(),
+                                     callee.params.end(), req);
+          if (pit != callee.params.end()) {
+            const std::size_t arg_idx =
+                static_cast<std::size_t>(pit - callee.params.begin());
+            if (arg_idx >= call.args.size()) continue;  // unresolvable
+            resolved = qualify(index_, normalize_expr(call.args[arg_idx]),
+                               fn.cls);
+          }
+          if (std::find(call.held.begin(), call.held.end(), resolved) !=
+              call.held.end())
+            continue;
+          Chain chain = {{fn.file, call.line, fn.qual,
+                          "calls " + callee.qual + " which requires " +
+                              resolved + " without holding it"}};
+          if (chain_allowed(index_, chain, "L004")) continue;
+          const std::string key =
+              "L004@" + subject_of(chain) + callee.qual + resolved;
+          if (!emitted_.insert(key).second) continue;
+          report_.add("L004", subject_of(chain),
+                      callee.qual + " is annotated DSP_REQUIRES(" + resolved +
+                          ") but the caller does not hold it: " +
+                          format_chain(chain));
+        }
+      }
+
+      if (call.held.empty()) continue;
+      for (const int t : targets) {
+        const FunctionSummary& ts = graph_.summary(t);
+        const FunctionInfo& callee = index_.functions[t];
+        const ChainStep step{fn.file, call.line, fn.qual,
+                             "calls " + callee.qual};
+
+        for (const auto& [lock, li] : ts.acquires) {
+          Chain chain;
+          chain.push_back(step);
+          chain.insert(chain.end(), li.chain.begin(), li.chain.end());
+          for (const std::string& held : call.held) {
+            if (held != lock) {
+              Chain edge_chain = chain;
+              edge_chain.front().note =
+                  "holding " + held + ", calls " + callee.qual;
+              add_edge(held, lock, std::move(edge_chain));
+              continue;
+            }
+            // Same lock re-acquired down the call path (L001): only a
+            // real self-deadlock when it is the same instance — a bare
+            // (file-scope) lock always is; a member lock only along an
+            // unbroken this-call chain within the lock's own class.
+            const std::string cls = lock_class(lock);
+            if (!cls.empty() &&
+                !(call.this_call && li.via_this && fn.cls == cls))
+              continue;
+            if (chain_allowed(index_, chain, "L001")) continue;
+            if (!emitted_.insert("L001@" + subject_of(chain) + lock).second)
+              continue;
+            report_.add("L001", subject_of(chain),
+                        "non-recursive mutex " + lock +
+                            " re-acquired along the call path: " +
+                            format_chain(chain));
+          }
+        }
+
+        if (!ts.io.empty()) {
+          Chain chain;
+          chain.push_back(step);
+          chain.insert(chain.end(), ts.io.front().chain.begin(),
+                       ts.io.front().chain.end());
+          chain.front().note =
+              "holding " + call.held.front() + ", calls " + callee.qual;
+          if (!chain_allowed(index_, chain, "L002") &&
+              emitted_
+                  .insert("L002@" + subject_of(chain) + ts.io.front().token)
+                  .second)
+            report_.add("L002", subject_of(chain),
+                        "blocking/console I/O (" +
+                            pretty_token(ts.io.front().token) +
+                            ") reachable while " + call.held.front() +
+                            " is held: " + format_chain(chain));
+        }
+      }
+    }
+  }
+}
+
+void FlowAnalyzer::check_l000() {
+  // Locks that participate in any edge.
+  std::set<std::string> locks;
+  std::map<std::string, std::vector<std::string>> adj;
+  for (const auto& [key, edge] : edges_) {
+    locks.insert(key.first);
+    locks.insert(key.second);
+    adj[key.first].push_back(key.second);
+  }
+
+  // BFS path A -> ... -> B over order edges; returns the concatenated
+  // evidence chains, empty when unreachable.
+  const auto path_chain = [&](const std::string& from,
+                              const std::string& to) -> Chain {
+    std::map<std::string, std::string> parent;
+    std::vector<std::string> queue = {from};
+    parent[from] = "";
+    for (std::size_t qi = 0; qi < queue.size(); ++qi) {
+      const std::string cur = queue[qi];
+      if (cur == to && qi > 0) break;
+      const auto it = adj.find(cur);
+      if (it == adj.end()) continue;
+      for (const std::string& next : it->second) {
+        if (parent.count(next) > 0) continue;
+        parent[next] = cur;
+        queue.push_back(next);
+      }
+    }
+    if (parent.count(to) == 0 || (from == to)) return {};
+    Chain out;
+    std::vector<std::pair<std::string, std::string>> hops;
+    for (std::string cur = to; cur != from || hops.empty();) {
+      const std::string par = parent[cur];
+      hops.push_back({par, cur});
+      cur = par;
+      if (cur == from) break;
+    }
+    std::reverse(hops.begin(), hops.end());
+    for (const auto& hop : hops) {
+      const Chain& c = edges_.at(hop).chain;
+      out.insert(out.end(), c.begin(), c.end());
+    }
+    return out;
+  };
+
+  for (const std::string& a : locks) {
+    for (const std::string& b : locks) {
+      if (a >= b) continue;  // each unordered pair once
+      const Chain forward = path_chain(a, b);
+      if (forward.empty()) continue;
+      const Chain backward = path_chain(b, a);
+      if (backward.empty()) continue;
+      if (chain_allowed(index_, forward, "L000") ||
+          chain_allowed(index_, backward, "L000"))
+        continue;
+      if (!emitted_.insert("L000@" + a + "/" + b).second) continue;
+      report_.add("L000", subject_of(forward),
+                  "lock-order inversion between " + a + " and " + b +
+                      ": one path takes " + a + " then " + b + " [" +
+                      format_chain(forward) + "] while another takes " + b +
+                      " then " + a + " [" + format_chain(backward) + "]");
+    }
+  }
+}
+
+void FlowAnalyzer::check_l003() {
+  for (std::size_t i = 0; i < index_.functions.size(); ++i) {
+    const FunctionInfo& fn = index_.functions[i];
+    for (const ParallelForSite& pf : fn.parallel_fors) {
+      const int cb = graph_.resolve_callback(fn, pf.callback);
+      if (cb < 0) continue;
+      const FunctionSummary& ts = graph_.summary(cb);
+      const FunctionInfo& cbinfo = index_.functions[cb];
+      for (const auto& [member, write_chain] : ts.unguarded_writes) {
+        Chain chain;
+        chain.push_back({fn.file, pf.line, fn.qual,
+                         "parallel_for over " + cbinfo.qual});
+        chain.insert(chain.end(), write_chain.begin(), write_chain.end());
+        if (chain_allowed(index_, chain, "L003")) continue;
+        if (!emitted_.insert("L003@" + subject_of(chain) + member).second)
+          continue;
+        report_.add("L003", subject_of(chain),
+                    "parallel_for callback reaches a write to " + member +
+                        ", which has no DSP_GUARDED_BY annotation and is "
+                        "not atomic; concurrent chunks race: " +
+                        format_chain(chain));
+      }
+    }
+  }
+}
+
+void FlowAnalyzer::check_d006() {
+  for (std::size_t i = 0; i < index_.functions.size(); ++i) {
+    const FunctionInfo& fn = index_.functions[i];
+    if (!in_flow_scope(fn.file)) continue;
+    if (!fn.nondet_sites.empty()) continue;  // D000-D003's territory
+    const FunctionSummary& ts = graph_.summary(static_cast<int>(i));
+    for (const auto& [token, si] : ts.nondet) {
+      if (si.chain.size() < 2) continue;  // interprocedural only
+      const ChainStep& sink = si.chain.back();
+      const std::string sink_key =
+          "D006@" + sink.file + ":" + std::to_string(sink.line) + token;
+      if (chain_allowed(index_, si.chain, "D006")) continue;
+      if (!emitted_.insert(sink_key).second) continue;
+      report_.add("D006", subject_of(si.chain),
+                  "deterministic entry point " + fn.qual +
+                      " reaches nondeterminism source " + pretty_token(token) +
+                      " through its call chain: " + format_chain(si.chain));
+    }
+  }
+}
+
+void FlowAnalyzer::run() {
+  collect_edges_and_l001_l002_l004();
+  check_l000();
+  check_l003();
+  check_d006();
+}
+
+}  // namespace
+
+void analyze_flow_index(CppIndex& index, Report& report) {
+  index.finalize();
+  FlowAnalyzer analyzer(index, report);
+  analyzer.run();
+}
+
+bool analyze_flow_files(const std::vector<std::string>& files, Report& report,
+                        std::string* error) {
+  CppIndex index;
+  for (const std::string& file : files)
+    if (!index_source_file(file, index, error)) return false;
+  analyze_flow_index(index, report);
+  return true;
+}
+
+}  // namespace dsp::analysis

@@ -1,0 +1,49 @@
+// dsp-flow: interprocedural lock-order and determinism rules over the
+// call graph (dsp_tidy --flow).
+//
+// Five lock rules and one determinism rule, all evaluated on the
+// CallGraph summaries built from a CppIndex:
+//   L000 lock-order-inversion      — two call paths acquire a mutex pair
+//                                    in opposite order (ABBA deadlock).
+//   L001 recursive-acquire         — a path re-acquires a non-recursive
+//                                    mutex it already holds (restricted
+//                                    to same-instance chains: bare locks,
+//                                    or member locks along this-calls).
+//   L002 io-under-lock-reachable   — a call made under a lock reaches
+//                                    blocking/console I/O in a callee
+//                                    (interprocedural C001).
+//   L003 parallel-for-unguarded-write — a parallel_for callback reaches
+//                                    a write to member state with no
+//                                    DSP_GUARDED_BY / atomic protection.
+//   L004 requires-not-held         — a DSP_REQUIRES(mu) function is
+//                                    invoked on a path not holding mu
+//                                    (with parameter substitution, so
+//                                    wait(mutex_) checks mutex_).
+//   D006 nondet-reachable          — a core/sim entry point reaches a
+//                                    wall-clock/random/hash-order sink
+//                                    through its call chain.
+//
+// Every finding carries the full call chain as evidence, and a
+// `dsp-tidy: allow(ID)` comment on any line of that chain suppresses it.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "analysis/cpp_index.h"
+#include "analysis/diagnostics.h"
+
+namespace dsp::analysis {
+
+/// Runs every flow rule over an already-populated index. Calls
+/// index.finalize() itself.
+void analyze_flow_index(CppIndex& index, Report& report);
+
+/// Indexes `files` (as produced by collect_sources /
+/// collect_sources_from_compdb) and runs the flow rules. Returns false
+/// and sets `error` when a file cannot be read; the report then holds
+/// whatever was analyzed before the failure.
+bool analyze_flow_files(const std::vector<std::string>& files, Report& report,
+                        std::string* error = nullptr);
+
+}  // namespace dsp::analysis

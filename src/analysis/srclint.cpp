@@ -8,33 +8,11 @@
 #include <sstream>
 #include <string>
 
+#include "analysis/cpp_lex.h"
+#include "obs/json.h"
+
 namespace dsp::analysis {
 namespace {
-
-// ---------------------------------------------------------------------------
-// Path scoping
-// ---------------------------------------------------------------------------
-
-std::string normalize_path(std::string_view path) {
-  std::string out(path);
-  std::replace(out.begin(), out.end(), '\\', '/');
-  return out;
-}
-
-/// True when `pat` occurs in `path` starting at a component boundary.
-/// A pattern ending in '.' is a file-stem prefix ("util/thread_pool."
-/// matches both the .h and the .cpp); otherwise the match must also end
-/// at a component boundary, so "src" does not match "srclint".
-bool path_has(const std::string& path, std::string_view pat) {
-  for (std::size_t pos = path.find(pat); pos != std::string::npos;
-       pos = path.find(pat, pos + 1)) {
-    if (pos != 0 && path[pos - 1] != '/') continue;
-    const std::size_t end = pos + pat.size();
-    if (pat.back() == '.' || end == path.size() || path[end] == '/')
-      return true;
-  }
-  return false;
-}
 
 /// D003/C003 police the deterministic hot path: src/core and src/sim.
 /// Out-of-tree files (test fixtures) are also in scope so the seeded
@@ -42,162 +20,6 @@ bool path_has(const std::string& path, std::string_view pat) {
 bool in_hot_scope(const std::string& path) {
   return path_has(path, "src/core") || path_has(path, "src/sim") ||
          !path_has(path, "src");
-}
-
-// ---------------------------------------------------------------------------
-// Lexical stripping
-// ---------------------------------------------------------------------------
-
-struct Line {
-  std::string code;     ///< Source with comments and literal bodies blanked.
-  std::string comment;  ///< Comment text of the line (for allow() parsing).
-  bool preprocessor = false;  ///< '#' directive or its '\'-continuation.
-};
-
-/// Splits `text` into lines, blanking comments, string/char literals
-/// (including raw strings) and marking preprocessor lines. Blanked bytes
-/// become spaces so column positions and brace counts stay meaningful.
-std::vector<Line> lex_lines(std::string_view text) {
-  enum class State { kCode, kString, kChar, kRawString, kLineComment, kBlockComment };
-  std::vector<Line> lines(1);
-  State state = State::kCode;
-  std::string raw_delim;       // the )delim" terminator of a raw string
-  bool continuation = false;   // previous line ended a directive with '\'
-  bool seen_code_on_line = false;
-
-  for (std::size_t i = 0; i < text.size(); ++i) {
-    const char c = text[i];
-    Line& line = lines.back();
-    if (c == '\n') {
-      if (state == State::kLineComment) state = State::kCode;
-      const std::string& code = line.code;
-      continuation = line.preprocessor && !code.empty() &&
-                     code.find_last_not_of(" \t") != std::string::npos &&
-                     code[code.find_last_not_of(" \t")] == '\\';
-      lines.emplace_back();
-      seen_code_on_line = false;
-      continue;
-    }
-    switch (state) {
-      case State::kCode: {
-        if (c == '/' && i + 1 < text.size() && text[i + 1] == '/') {
-          state = State::kLineComment;
-          line.code += "  ";
-          ++i;
-          break;
-        }
-        if (c == '/' && i + 1 < text.size() && text[i + 1] == '*') {
-          state = State::kBlockComment;
-          line.code += "  ";
-          ++i;
-          break;
-        }
-        if (c == '"') {
-          // R"delim( ... )delim" — capture the closing sentinel.
-          if (!line.code.empty() && line.code.back() == 'R' &&
-              (line.code.size() < 2 ||
-               !(std::isalnum(static_cast<unsigned char>(
-                     line.code[line.code.size() - 2])) ||
-                 line.code[line.code.size() - 2] == '_'))) {
-            raw_delim = ")";
-            std::size_t j = i + 1;
-            while (j < text.size() && text[j] != '(') raw_delim += text[j++];
-            raw_delim += '"';
-            state = State::kRawString;
-            line.code += '"';
-            break;
-          }
-          state = State::kString;
-          line.code += '"';
-          break;
-        }
-        if (c == '\'') {
-          // Skip digit separators (1'000'000): preceded by an alnum.
-          if (!line.code.empty() &&
-              std::isalnum(static_cast<unsigned char>(line.code.back()))) {
-            line.code += ' ';
-            break;
-          }
-          state = State::kChar;
-          line.code += '\'';
-          break;
-        }
-        if (!seen_code_on_line && !std::isspace(static_cast<unsigned char>(c))) {
-          seen_code_on_line = true;
-          line.preprocessor = continuation || c == '#';
-        }
-        line.code += c;
-        break;
-      }
-      case State::kString:
-      case State::kChar: {
-        const char quote = state == State::kString ? '"' : '\'';
-        if (c == '\\' && i + 1 < text.size() && text[i + 1] != '\n') {
-          line.code += "  ";
-          ++i;
-        } else if (c == quote) {
-          state = State::kCode;
-          line.code += quote;
-        } else {
-          line.code += ' ';
-        }
-        break;
-      }
-      case State::kRawString: {
-        if (text.compare(i, raw_delim.size(), raw_delim) == 0) {
-          i += raw_delim.size() - 1;
-          line.code += '"';
-          state = State::kCode;
-        } else {
-          line.code += ' ';
-        }
-        break;
-      }
-      case State::kLineComment: {
-        line.comment += c;
-        line.code += ' ';
-        break;
-      }
-      case State::kBlockComment: {
-        if (c == '*' && i + 1 < text.size() && text[i + 1] == '/') {
-          state = State::kCode;
-          line.code += "  ";
-          ++i;
-        } else {
-          line.comment += c;
-          line.code += ' ';
-        }
-        break;
-      }
-    }
-  }
-  return lines;
-}
-
-/// Parses "dsp-tidy: allow(C005)" / "allow(C001, C004)" from a line's
-/// comment text into the set of rule IDs suppressed on that line.
-std::vector<std::string> parse_allows(const std::string& comment) {
-  std::vector<std::string> ids;
-  static const std::string kTag = "dsp-tidy: allow(";
-  const std::size_t tag = comment.find(kTag);
-  if (tag == std::string::npos) return ids;
-  std::size_t pos = tag + kTag.size();
-  std::string id;
-  for (; pos < comment.size() && comment[pos] != ')'; ++pos) {
-    const char c = comment[pos];
-    if (c == ',') {
-      if (!id.empty()) ids.push_back(std::move(id));
-      id.clear();
-    } else if (!std::isspace(static_cast<unsigned char>(c))) {
-      id += c;
-    }
-  }
-  if (!id.empty()) ids.push_back(std::move(id));
-  return ids;
-}
-
-bool allowed(const std::vector<std::string>& allows, std::string_view id) {
-  return std::find(allows.begin(), allows.end(), id) != allows.end();
 }
 
 /// Compacts a regex match for display: internal whitespace runs collapse
@@ -249,7 +71,10 @@ const std::vector<SimpleRule>& simple_rules() {
     r.push_back({"C002", Scope::kAll, {},
                  std::regex(R"(\bnew\s+[A-Za-z_(:]|\bdelete\s*\[\s*\]|\bdelete\s+[A-Za-z_*(])"),
                  "raw new/delete; use std::make_unique or a container"});
-    r.push_back({"C004", Scope::kAll, {"util/log."},
+    // tools/ and bench/ are sanctioned console-I/O surfaces: CLIs and
+    // benchmark drivers whose stdout IS the interface. Library code under
+    // src/ stays restricted to util/log.
+    r.push_back({"C004", Scope::kAll, {"util/log.", "tools", "bench"},
                  std::regex(R"(\b(printf|fprintf|puts|fputs)\s*\(|\bstd\s*::\s*(cout|cerr)\b)"),
                  "console I/O outside util/log; use DSP_LOG so levels and line atomicity hold"});
     r.push_back({"C005", Scope::kAll, {},
@@ -420,6 +245,51 @@ bool collect_sources(const std::vector<std::string>& paths,
       }
     } else {
       out.push_back(normalize_path(path));
+    }
+  }
+  std::sort(out.begin(), out.end());
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+  return true;
+}
+
+bool collect_sources_from_compdb(const std::string& compdb_path,
+                                 std::vector<std::string>& out,
+                                 std::string* error) {
+  namespace fs = std::filesystem;
+  std::ifstream in(compdb_path, std::ios::binary);
+  if (!in) {
+    if (error) *error = "cannot open compilation database: " + compdb_path;
+    return false;
+  }
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  obs::json::Value doc;
+  std::string parse_error;
+  if (!obs::json::parse(buf.str(), doc, &parse_error) || !doc.is_array()) {
+    if (error)
+      *error = compdb_path + ": not a compile_commands.json array (" +
+               (parse_error.empty() ? "top-level value is not an array"
+                                    : parse_error) +
+               ")";
+    return false;
+  }
+  for (const auto& entry : doc.array) {
+    const obs::json::Value* file = entry.find("file");
+    if (file == nullptr || !file->is_string()) continue;
+    fs::path p(file->string);
+    if (p.is_relative()) {
+      const obs::json::Value* dir = entry.find("directory");
+      if (dir != nullptr && dir->is_string()) p = fs::path(dir->string) / p;
+    }
+    out.push_back(normalize_path(p.string()));
+    // The TU's sibling header, when present: annotations and inline
+    // method bodies live there.
+    for (const char* ext : {".h", ".hh", ".hpp"}) {
+      fs::path header = p;
+      header.replace_extension(ext);
+      std::error_code ec;
+      if (fs::is_regular_file(header, ec))
+        out.push_back(normalize_path(header.string()));
     }
   }
   std::sort(out.begin(), out.end());

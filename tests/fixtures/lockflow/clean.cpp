@@ -1,0 +1,32 @@
+// Clean control fixture for the dsp-flow rules: the (mu_first,
+// mu_second) pair is always taken in the same order, nothing blocks or
+// reads clocks, and nothing fans out unguarded writes. Must produce zero
+// findings under dsp_tidy --flow. The mutation test in lockflow_test
+// appends an inverted path to this file's text and expects L000 to
+// appear — breaking lock-set propagation across calls would let that
+// mutant pass silently.
+// Lexical fixture: scanned by dsp_tidy --flow, never compiled.
+#include <mutex>
+
+namespace {
+
+std::mutex mu_first;
+std::mutex mu_second;
+int depth_total = 0;
+
+void inner() {
+  std::lock_guard<std::mutex> hold(mu_second);
+  ++depth_total;
+}
+
+}  // namespace
+
+void outer_one() {
+  std::lock_guard<std::mutex> hold(mu_first);
+  inner();
+}
+
+void outer_two() {
+  std::lock_guard<std::mutex> hold(mu_first);
+  inner();
+}

@@ -1,0 +1,17 @@
+// Seeded D006: core_tick itself is clean under the line rules, but its
+// call chain reaches a wall-clock read in the util_stamp helper — the
+// interprocedural escape D000-D002 cannot see.
+// Lexical fixture: scanned by dsp_tidy --flow, never compiled.
+#include <ctime>
+
+namespace {
+
+long util_stamp() {
+  return static_cast<long>(time(nullptr));
+}
+
+}  // namespace
+
+long core_tick() {
+  return util_stamp() + 1;
+}

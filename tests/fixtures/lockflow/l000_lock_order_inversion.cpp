@@ -1,0 +1,34 @@
+// Seeded L000: two call paths acquire the pair (mu_a, mu_b) in opposite
+// order through helpers, so neither function trips a line rule — only
+// the interprocedural lock-order graph sees the ABBA cycle.
+// Lexical fixture: scanned by dsp_tidy --flow, never compiled.
+#include <mutex>
+
+namespace {
+
+std::mutex mu_a;
+std::mutex mu_b;
+int shared_a = 0;
+int shared_b = 0;
+
+void helper_b() {
+  std::lock_guard<std::mutex> hold_b(mu_b);
+  ++shared_b;
+}
+
+void helper_a() {
+  std::lock_guard<std::mutex> hold_a(mu_a);
+  ++shared_a;
+}
+
+}  // namespace
+
+void take_a_then_b() {
+  std::lock_guard<std::mutex> hold(mu_a);
+  helper_b();
+}
+
+void take_b_then_a() {
+  std::lock_guard<std::mutex> hold(mu_b);
+  helper_a();
+}

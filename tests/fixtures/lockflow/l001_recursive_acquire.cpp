@@ -1,0 +1,22 @@
+// Seeded L001: bump_twice holds mu_gate and calls bump_locked, which
+// re-acquires the same non-recursive mutex — self-deadlock that only a
+// call-path analysis can see.
+// Lexical fixture: scanned by dsp_tidy --flow, never compiled.
+#include <mutex>
+
+namespace {
+
+std::mutex mu_gate;
+int counter = 0;
+
+void bump_locked() {
+  std::lock_guard<std::mutex> hold(mu_gate);
+  ++counter;
+}
+
+}  // namespace
+
+void bump_twice() {
+  std::lock_guard<std::mutex> hold(mu_gate);
+  bump_locked();
+}

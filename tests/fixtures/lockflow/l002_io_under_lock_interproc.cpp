@@ -1,0 +1,19 @@
+// Seeded L002: log_under_lock holds mu_log while calling sink_line,
+// whose body blocks on console I/O — the interprocedural form of C001
+// (which only sees I/O next to a lock in the same function).
+// Lexical fixture: scanned by dsp_tidy --flow, never compiled.
+#include <cstdio>
+#include <mutex>
+
+namespace {
+
+std::mutex mu_log;
+
+void sink_line() { std::printf("tick\n"); }
+
+}  // namespace
+
+void log_under_lock() {
+  std::lock_guard<std::mutex> hold(mu_log);
+  sink_line();
+}

@@ -1,0 +1,32 @@
+// Seeded L003: the tally callback handed to parallel_for writes member
+// state (counts_, total_) that carries no DSP_GUARDED_BY annotation and
+// is not atomic, so concurrent chunks race on it.
+// Lexical fixture: scanned by dsp_tidy --flow, never compiled.
+#include <cstddef>
+#include <vector>
+
+namespace {
+
+struct Pool {
+  template <typename F>
+  void parallel_for(std::size_t n, F&& fn);
+};
+
+struct Worker {
+  void run_all(std::size_t n);
+  std::vector<int> counts_;
+  int total_ = 0;
+};
+
+Pool pool;
+
+void Worker::run_all(std::size_t n) {
+  counts_.resize(n);
+  auto tally = [&](std::size_t i) {
+    counts_[i] = static_cast<int>(i);
+    total_ += static_cast<int>(i);
+  };
+  pool.parallel_for(n, tally);
+}
+
+}  // namespace

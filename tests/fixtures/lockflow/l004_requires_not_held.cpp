@@ -1,0 +1,27 @@
+// Seeded L004: mutate_locked is annotated DSP_REQUIRES(gate_), and
+// forget_the_lock calls it without holding gate_; take_then_mutate shows
+// the compliant path that must stay silent.
+// Lexical fixture: scanned by dsp_tidy --flow, never compiled.
+#include <mutex>
+
+#define DSP_REQUIRES(...)
+
+namespace {
+
+std::mutex gate_;
+int value = 0;
+
+void mutate_locked() DSP_REQUIRES(gate_) {
+  ++value;
+}
+
+}  // namespace
+
+void take_then_mutate() {
+  std::lock_guard<std::mutex> hold(gate_);
+  mutate_locked();
+}
+
+void forget_the_lock() {
+  mutate_locked();
+}

@@ -1,0 +1,293 @@
+// dsp-flow tests: every seeded fixture under tests/fixtures/lockflow
+// fires exactly its own interprocedural rule, the clean fixture stays
+// silent, the repository's own src/ tree flow-scans clean, and a
+// textual mutant of the clean fixture that inverts the lock order
+// through a helper is detected — with a propagation-free control mutant
+// staying silent, which pins the detection on lock-set propagation
+// across calls. Plus black-box coverage of dsp_tidy --flow (exit codes,
+// --list-rules, --compdb, --json via json_check).
+#include "analysis/lockflow.h"
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cstdio>
+#include <fstream>
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "analysis/cpp_index.h"
+#include "analysis/diagnostics.h"
+#include "analysis/rules.h"
+#include "analysis/srclint.h"
+
+namespace {
+
+using dsp::analysis::CppIndex;
+using dsp::analysis::Report;
+
+std::string fixture(const std::string& name) {
+  return std::string(DSP_LOCKFLOW_FIXTURE_DIR) + "/" + name;
+}
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return buf.str();
+}
+
+std::set<std::string> fired_rules(const Report& report) {
+  std::set<std::string> ids;
+  for (const auto& d : report.diagnostics()) ids.insert(d.rule);
+  return ids;
+}
+
+std::string dump(const Report& report) {
+  std::string all;
+  for (const auto& d : report.diagnostics())
+    all += d.rule + " " + d.subject + ": " + d.message + "\n";
+  return all;
+}
+
+/// Runs the flow rules over in-memory source text.
+Report analyze_text(const std::string& path, const std::string& text) {
+  CppIndex index;
+  dsp::analysis::index_source(path, text, index);
+  Report report;
+  dsp::analysis::analyze_flow_index(index, report);
+  return report;
+}
+
+void expect_fires_exactly(const std::string& file, const std::string& rule) {
+  Report report;
+  std::string error;
+  ASSERT_TRUE(
+      dsp::analysis::analyze_flow_files({fixture(file)}, report, &error))
+      << error;
+  EXPECT_EQ(fired_rules(report), std::set<std::string>{rule})
+      << file << " should fire " << rule << " and nothing else:\n"
+      << dump(report);
+  EXPECT_GE(report.diagnostics().size(), 1u);
+  for (const auto& d : report.diagnostics())
+    EXPECT_NE(d.subject.find(".cpp:"), std::string::npos)
+        << "subject should be path:line, got " << d.subject;
+}
+
+TEST(LockflowTest, SeededFixturesFireExactlyTheirRule) {
+  expect_fires_exactly("l000_lock_order_inversion.cpp", "L000");
+  expect_fires_exactly("l001_recursive_acquire.cpp", "L001");
+  expect_fires_exactly("l002_io_under_lock_interproc.cpp", "L002");
+  expect_fires_exactly("l003_parallel_for_race.cpp", "L003");
+  expect_fires_exactly("l004_requires_not_held.cpp", "L004");
+  expect_fires_exactly("d006_nondet_reachable.cpp", "D006");
+}
+
+TEST(LockflowTest, CleanFixtureFiresNothing) {
+  Report report;
+  std::string error;
+  ASSERT_TRUE(dsp::analysis::analyze_flow_files({fixture("clean.cpp")},
+                                                report, &error))
+      << error;
+  EXPECT_TRUE(report.empty()) << dump(report);
+}
+
+TEST(LockflowTest, InversionEvidenceNamesBothCallPaths) {
+  Report report;
+  std::string error;
+  ASSERT_TRUE(dsp::analysis::analyze_flow_files(
+      {fixture("l000_lock_order_inversion.cpp")}, report, &error))
+      << error;
+  ASSERT_EQ(report.diagnostics().size(), 1u) << dump(report);
+  const std::string& msg = report.diagnostics()[0].message;
+  // Complete two-path evidence: both orders stated, both helper hops
+  // named with their acquisition sites.
+  EXPECT_NE(msg.find("mu_a then mu_b"), std::string::npos) << msg;
+  EXPECT_NE(msg.find("mu_b then mu_a"), std::string::npos) << msg;
+  EXPECT_NE(msg.find("helper_b"), std::string::npos) << msg;
+  EXPECT_NE(msg.find("helper_a"), std::string::npos) << msg;
+  EXPECT_NE(msg.find("acquires mu_b"), std::string::npos) << msg;
+  EXPECT_NE(msg.find("acquires mu_a"), std::string::npos) << msg;
+}
+
+TEST(LockflowTest, MutantInvertedThroughHelperIsDetected) {
+  const std::string clean = read_file(fixture("clean.cpp"));
+  ASSERT_FALSE(clean.empty());
+
+  // Mutant: reach mu_first through a helper while holding mu_second.
+  // Only lock-set propagation across the call edge can see the ABBA
+  // cycle with outer_*'s mu_first -> mu_second order.
+  const std::string mutant = clean + R"(
+namespace {
+void helper_first() {
+  std::lock_guard<std::mutex> hold(mu_first);
+  ++depth_total;
+}
+}  // namespace
+
+void inverted_path() {
+  std::lock_guard<std::mutex> hold(mu_second);
+  helper_first();
+}
+)";
+  const Report detected = analyze_text("mutant.cpp", mutant);
+  EXPECT_EQ(fired_rules(detected), std::set<std::string>{"L000"})
+      << dump(detected);
+
+  // Control: identical call structure but the helper acquires nothing,
+  // so there is nothing to propagate and the mutant must stay silent —
+  // the detection above really is the propagated lock set.
+  const std::string control = clean + R"(
+namespace {
+void helper_first() {
+  ++depth_total;
+}
+}  // namespace
+
+void inverted_path() {
+  std::lock_guard<std::mutex> hold(mu_second);
+  helper_first();
+}
+)";
+  const Report silent = analyze_text("control.cpp", control);
+  EXPECT_TRUE(silent.empty()) << dump(silent);
+}
+
+TEST(LockflowTest, AllowOnAnyChainLineSuppresses) {
+  const std::string base =
+      "#include <mutex>\n"
+      "namespace {\n"
+      "std::mutex mu_gate;\n"
+      "int counter = 0;\n"
+      "void bump_locked() {\n"
+      "  std::lock_guard<std::mutex> hold(mu_gate);\n"
+      "  ++counter;\n"
+      "}\n"
+      "}  // namespace\n"
+      "void bump_twice() {\n"
+      "  std::lock_guard<std::mutex> hold(mu_gate);\n"
+      "  bump_locked();\n"
+      "}\n";
+  EXPECT_EQ(fired_rules(analyze_text("adhoc.cpp", base)),
+            std::set<std::string>{"L001"});
+
+  // Allow on the callee's acquisition line — not the call site — must
+  // still silence the finding: any hop of the evidence chain counts.
+  std::string allowed = base;
+  const std::string target = "std::lock_guard<std::mutex> hold(mu_gate);\n  ++counter;";
+  const std::size_t pos = allowed.find(target);
+  ASSERT_NE(pos, std::string::npos);
+  allowed.replace(pos, target.size(),
+                  "std::lock_guard<std::mutex> hold(mu_gate);  "
+                  "// dsp-tidy: allow(L001)\n  ++counter;");
+  EXPECT_TRUE(analyze_text("adhoc.cpp", allowed).empty());
+}
+
+TEST(LockflowTest, RepositorySourceFlowScansClean) {
+  std::vector<std::string> files;
+  std::string error;
+  ASSERT_TRUE(dsp::analysis::collect_sources({DSP_SRC_DIR}, files, &error))
+      << error;
+  ASSERT_GT(files.size(), 40u) << "src/ tree looks truncated";
+  Report report;
+  ASSERT_TRUE(dsp::analysis::analyze_flow_files(files, report, &error))
+      << error;
+  EXPECT_TRUE(report.empty()) << dump(report);
+}
+
+TEST(LockflowTest, FlowRulesAreInTheCatalog) {
+  for (const char* id : {"L000", "L001", "L002", "L003", "L004", "D006"}) {
+    const auto* info = dsp::analysis::find_rule(id);
+    ASSERT_NE(info, nullptr) << id;
+    EXPECT_EQ(info->severity, dsp::analysis::Severity::kError) << id;
+  }
+}
+
+TEST(LockflowTest, CompdbDiscoveryExpandsTranslationUnits) {
+  const std::string dir = ::testing::TempDir();
+  const std::string compdb = dir + "lockflow_compdb.json";
+  {
+    std::ofstream out(compdb);
+    out << "[{\"directory\": \"" << DSP_LOCKFLOW_FIXTURE_DIR
+        << "\", \"file\": \"clean.cpp\", \"command\": \"c++ -c clean.cpp\"},\n"
+        << " {\"directory\": \"" << DSP_LOCKFLOW_FIXTURE_DIR
+        << "\", \"file\": \"" << fixture("l001_recursive_acquire.cpp")
+        << "\", \"command\": \"c++\"}]\n";
+  }
+  std::vector<std::string> files;
+  std::string error;
+  ASSERT_TRUE(
+      dsp::analysis::collect_sources_from_compdb(compdb, files, &error))
+      << error;
+  ASSERT_EQ(files.size(), 2u);  // sorted, deduped, no sibling headers here
+  EXPECT_NE(files[0].find("clean.cpp"), std::string::npos);
+  EXPECT_NE(files[1].find("l001_recursive_acquire.cpp"), std::string::npos);
+
+  std::vector<std::string> none;
+  EXPECT_FALSE(dsp::analysis::collect_sources_from_compdb(
+      dir + "no_such_compdb.json", none, &error));
+  std::remove(compdb.c_str());
+}
+
+// ---------------------------------------------------------------------------
+// Black-box CLI tests
+// ---------------------------------------------------------------------------
+
+struct CliResult {
+  int exit_code = -1;
+  std::string output;  // stdout + stderr
+};
+
+CliResult run_cmd(const std::string& command) {
+  CliResult result;
+  FILE* pipe = popen((command + " 2>&1").c_str(), "r");
+  if (pipe == nullptr) return result;
+  std::array<char, 512> buf;
+  while (fgets(buf.data(), buf.size(), pipe) != nullptr)
+    result.output += buf.data();
+  const int status = pclose(pipe);
+  result.exit_code = WIFEXITED(status) ? WEXITSTATUS(status) : -1;
+  return result;
+}
+
+CliResult run_tidy(const std::string& args) {
+  return run_cmd(std::string(DSP_TIDY_BIN) + " " + args);
+}
+
+TEST(DspTidyFlowCliTest, FixtureDirectoryExitsOneNamingEveryFlowRule) {
+  const CliResult r =
+      run_tidy("--flow " + std::string(DSP_LOCKFLOW_FIXTURE_DIR));
+  EXPECT_EQ(r.exit_code, 1) << r.output;
+  for (const char* id : {"L000", "L001", "L002", "L003", "L004", "D006"})
+    EXPECT_NE(r.output.find(id), std::string::npos) << id << "\n" << r.output;
+  // Line rules must not run in --flow mode (the fixtures contain printf,
+  // wall clocks, unguarded globals that would otherwise fire C*/D*).
+  EXPECT_EQ(r.output.find("C004"), std::string::npos) << r.output;
+  EXPECT_EQ(r.output.find("D002"), std::string::npos) << r.output;
+}
+
+TEST(DspTidyFlowCliTest, FlowSelfScanOfSrcIsCleanAndJsonValidates) {
+  const std::string json = ::testing::TempDir() + "dsp_tidy_flow_out.json";
+  const CliResult r =
+      run_tidy("--flow " + std::string(DSP_SRC_DIR) + " --json " + json);
+  EXPECT_EQ(r.exit_code, 0) << r.output;
+  const CliResult check =
+      run_cmd(std::string(DSP_JSON_CHECK_BIN) + " " + json);
+  EXPECT_EQ(check.exit_code, 0) << check.output;
+  std::remove(json.c_str());
+}
+
+TEST(DspTidyFlowCliTest, ListRulesCoversEveryPackAndExitsZero) {
+  for (const char* invocation : {"--list-rules", "rules"}) {
+    const CliResult r = run_tidy(invocation);
+    EXPECT_EQ(r.exit_code, 0);
+    for (const char* id : {"D000", "C005", "L000", "L004", "D006"})
+      EXPECT_NE(r.output.find(id), std::string::npos) << id << "\n"
+                                                      << r.output;
+    EXPECT_EQ(r.output.find("W001"), std::string::npos) << r.output;
+  }
+}
+
+}  // namespace

@@ -78,11 +78,16 @@ TEST(SrclintTest, CleanFixtureFiresNothing) {
 }
 
 TEST(SrclintTest, RepositorySourceSelfScansClean) {
+  // tools/ and bench/ are in scope too: they are sanctioned console-I/O
+  // surfaces (C004 exempts them), but every other discipline — no raw
+  // new/delete, no ambient randomness, RAII locking — binds there as
+  // much as in the library.
   std::vector<std::string> files;
   std::string error;
-  ASSERT_TRUE(dsp::analysis::collect_sources({DSP_SRC_DIR}, files, &error))
+  ASSERT_TRUE(dsp::analysis::collect_sources(
+      {DSP_SRC_DIR, DSP_TOOLS_DIR, DSP_BENCH_DIR}, files, &error))
       << error;
-  ASSERT_GT(files.size(), 40u) << "src/ tree looks truncated";
+  ASSERT_GT(files.size(), 50u) << "source tree looks truncated";
   Report report;
   for (const std::string& file : files)
     ASSERT_TRUE(dsp::analysis::scan_source_file(file, report, &error))

@@ -12,6 +12,10 @@
 #   srclint  dsp_tidy self-scan of src/ (must be clean, --json validated
 #            by json_check) plus the seeded per-rule fixtures, which must
 #            each fail naming exactly their rule
+#   flow     dsp_tidy --flow interprocedural lock-order/determinism
+#            analysis: src/ must scan clean in under 5 seconds (--json
+#            validated by json_check), and the seeded lockflow fixtures
+#            must each fail naming exactly their rule
 #   threadsafety  clang++ build with -DDSP_THREAD_SAFETY=ON so the
 #            Clang Thread Safety Analysis annotations are checked as
 #            errors; skipped (with a notice) when clang++ is not
@@ -89,6 +93,38 @@ if ! skipped srclint; then
   echo "dsp_tidy tests/fixtures/srclint/clean.cpp"
   "$TIDY" tests/fixtures/srclint/clean.cpp >/dev/null
   rm -rf "$srclint_tmp"
+fi
+
+if ! skipped flow; then
+  banner "flow (dsp_tidy --flow interprocedural analysis)"
+  TIDY=build/tools/dsp_tidy
+  JSON_CHECK=build/tools/json_check
+  flow_tmp=$(mktemp -d)
+
+  echo "dsp_tidy --flow src/ (must be clean, and fast)"
+  flow_start=$(date +%s)
+  "$TIDY" --flow src/ --json "$flow_tmp/flow.json"
+  flow_elapsed=$(( $(date +%s) - flow_start ))
+  "$JSON_CHECK" "$flow_tmp/flow.json" analyzer input.kind diagnostics summary.error
+  if [ "$flow_elapsed" -ge 5 ]; then
+    echo "ci: flow scan took ${flow_elapsed}s (budget: < 5s)"; exit 1
+  fi
+  echo "flow scan clean in ${flow_elapsed}s"
+
+  # Seeded interprocedural fixtures must fail with exactly their rule.
+  for f in tests/fixtures/lockflow/[ld][0-9]*.cpp; do
+    base=$(basename "$f")
+    rule=$(echo "${base%%_*}" | tr '[:lower:]' '[:upper:]')
+    if "$TIDY" --flow "$f" >"$flow_tmp/seed.txt" 2>&1; then
+      echo "ci: $f unexpectedly scanned clean (wanted $rule)"; exit 1
+    fi
+    grep -q "$rule" "$flow_tmp/seed.txt" || { echo "ci: $f did not report $rule"; exit 1; }
+    echo "seeded $rule ok ($f)"
+  done
+
+  echo "dsp_tidy --flow tests/fixtures/lockflow/clean.cpp"
+  "$TIDY" --flow tests/fixtures/lockflow/clean.cpp >/dev/null
+  rm -rf "$flow_tmp"
 fi
 
 if ! skipped threadsafety; then

@@ -4,7 +4,7 @@
 //   dsp_analyze workload <trace.csv> [--cluster <spec>] [--rate <mips>]
 //   dsp_analyze schedule <schedule.json>
 //   dsp_analyze audit <audit.json> [--workload <trace.csv>] [--rate <mips>]
-//   dsp_analyze rules
+//   dsp_analyze rules | --list-rules
 // Common flags:
 //   --json <path|->   machine-readable diagnostics (json_check-compatible)
 //   --rules <ids>     comma-separated rule filter, e.g. W001,W003
@@ -32,7 +32,7 @@ int usage(const char* argv0) {
                "       %s schedule <schedule.json> [--json ...] [--rules ...]\n"
                "       %s audit <audit.json> [--workload <trace.csv>] [--rate "
                "<mips>] [--json ...] [--rules ...]\n"
-               "       %s rules\n",
+               "       %s rules | --list-rules\n",
                argv0, argv0, argv0, argv0);
   return 2;
 }
@@ -66,7 +66,7 @@ int list_rules() {
 int main(int argc, char** argv) {
   if (argc < 2) return usage(argv[0]);
   const std::string mode = argv[1];
-  if (mode == "rules") return list_rules();
+  if (mode == "rules" || mode == "--list-rules") return list_rules();
   if (argc < 3) return usage(argv[0]);
   if (mode != "workload" && mode != "schedule" && mode != "audit")
     return usage(argv[0]);

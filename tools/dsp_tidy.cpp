@@ -1,15 +1,23 @@
 // dsp_tidy: source-level determinism & concurrency lint for the repo's
-// own C++ (src/analysis/srclint).
+// own C++ (src/analysis/srclint), plus the dsp-flow interprocedural
+// lock-order & determinism analysis (src/analysis/lockflow).
 //
-//   dsp_tidy <path...> [--json <path|->] [--rules <ids>]
-//   dsp_tidy rules
+//   dsp_tidy <path...> [--flow] [--json <path|->] [--rules <ids>]
+//            [--compdb <compile_commands.json>]
+//   dsp_tidy rules | --list-rules
 //
 // Paths may be files or directories (directories recurse over
-// .h/.hh/.hpp/.cc/.cpp/.cxx). Rule packs: D* determinism, C*
-// concurrency/robustness — see `dsp_tidy rules` or rules.h. Findings are
-// printed compiler-style ("D001 std-random-device error src/x.cpp:12:
-// ..."); --json writes the same machine-readable document dsp_analyze
-// emits (json_check-compatible).
+// .h/.hh/.hpp/.cc/.cpp/.cxx); --compdb scans the translation units of a
+// CMake compile_commands.json (plus same-stem headers) instead. Rule
+// packs: D* determinism, C* concurrency/robustness (line rules), L*
+// lock flow (--flow) — see `dsp_tidy --list-rules` or rules.h. Findings
+// are printed compiler-style ("D001 std-random-device error
+// src/x.cpp:12: ..."); --json writes the same machine-readable document
+// dsp_analyze emits (json_check-compatible).
+//
+// --flow runs ONLY the interprocedural rules (L000-L004, D006) so its
+// findings never overlap the line rules; run both modes for full
+// coverage (tools/ci.sh does).
 //
 // Exit codes: 0 = no error-severity findings, 1 = at least one error
 // finding, 2 = usage or I/O problem.
@@ -20,6 +28,7 @@
 #include <string>
 #include <vector>
 
+#include "analysis/lockflow.h"
 #include "analysis/rules.h"
 #include "analysis/srclint.h"
 
@@ -27,8 +36,9 @@ namespace {
 
 int usage(const char* argv0) {
   std::fprintf(stderr,
-               "usage: %s <path...> [--json <path|->] [--rules <ids>]\n"
-               "       %s rules\n",
+               "usage: %s <path...> [--flow] [--json <path|->] [--rules <ids>]"
+               " [--compdb <file>]\n"
+               "       %s rules | --list-rules\n",
                argv0, argv0);
   return 2;
 }
@@ -47,7 +57,9 @@ std::vector<std::string> split_rules(const std::string& csv) {
   return out;
 }
 
-bool is_source_rule(const char* id) { return id[0] == 'D' || id[0] == 'C'; }
+bool is_source_rule(const char* id) {
+  return id[0] == 'D' || id[0] == 'C' || id[0] == 'L';
+}
 
 int list_rules() {
   std::printf("%-6s %-38s %-8s %s\n", "ID", "NAME", "SEVERITY", "PAPER");
@@ -64,11 +76,15 @@ int list_rules() {
 
 int main(int argc, char** argv) {
   if (argc < 2) return usage(argv[0]);
-  if (std::strcmp(argv[1], "rules") == 0) return list_rules();
+  if (std::strcmp(argv[1], "rules") == 0 ||
+      std::strcmp(argv[1], "--list-rules") == 0)
+    return list_rules();
 
   std::vector<std::string> paths;
   std::string json_path;
+  std::string compdb_path;
   std::vector<std::string> filter;
+  bool flow = false;
   for (int i = 1; i < argc; ++i) {
     const auto need_value = [&](const char* flag) -> const char* {
       if (i + 1 >= argc) {
@@ -85,6 +101,12 @@ int main(int argc, char** argv) {
       const char* v = need_value("--rules");
       if (!v) return 2;
       filter = split_rules(v);
+    } else if (std::strcmp(argv[i], "--compdb") == 0) {
+      const char* v = need_value("--compdb");
+      if (!v) return 2;
+      compdb_path = v;
+    } else if (std::strcmp(argv[i], "--flow") == 0) {
+      flow = true;
     } else if (argv[i][0] == '-' && argv[i][1] != '\0') {
       std::fprintf(stderr, "%s: unknown flag %s\n", argv[0], argv[i]);
       return usage(argv[0]);
@@ -92,7 +114,7 @@ int main(int argc, char** argv) {
       paths.push_back(argv[i]);
     }
   }
-  if (paths.empty()) return usage(argv[0]);
+  if (paths.empty() && compdb_path.empty()) return usage(argv[0]);
   for (const std::string& id : filter) {
     if (!dsp::analysis::find_rule(id)) {
       std::fprintf(stderr, "%s: unknown rule id %s (see `%s rules`)\n",
@@ -103,25 +125,41 @@ int main(int argc, char** argv) {
 
   std::string error;
   std::vector<std::string> files;
-  if (!dsp::analysis::collect_sources(paths, files, &error)) {
+  if (!compdb_path.empty()) {
+    if (!dsp::analysis::collect_sources_from_compdb(compdb_path, files,
+                                                    &error)) {
+      std::fprintf(stderr, "%s: %s\n", argv[0], error.c_str());
+      return 2;
+    }
+  }
+  if (!paths.empty() &&
+      !dsp::analysis::collect_sources(paths, files, &error)) {
     std::fprintf(stderr, "%s: %s\n", argv[0], error.c_str());
     return 2;
   }
 
   dsp::analysis::Report report;
   report.set_rule_filter(filter);
-  for (const std::string& file : files) {
-    if (!dsp::analysis::scan_source_file(file, report, &error)) {
+  if (flow) {
+    if (!dsp::analysis::analyze_flow_files(files, report, &error)) {
       std::fprintf(stderr, "%s: %s\n", argv[0], error.c_str());
       return 2;
     }
+  } else {
+    for (const std::string& file : files) {
+      if (!dsp::analysis::scan_source_file(file, report, &error)) {
+        std::fprintf(stderr, "%s: %s\n", argv[0], error.c_str());
+        return 2;
+      }
+    }
   }
 
-  const std::string input = paths.size() == 1
-                                ? paths.front()
-                                : paths.front() + " (+" +
-                                      std::to_string(paths.size() - 1) +
-                                      " more)";
+  const std::string input =
+      paths.empty() ? compdb_path
+      : paths.size() == 1
+          ? paths.front()
+          : paths.front() + " (+" + std::to_string(paths.size() - 1) +
+                " more)";
   if (json_path.empty()) {
     report.print_text(std::cout);
   } else if (json_path == "-") {

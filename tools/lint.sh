@@ -11,7 +11,17 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 BUILD_DIR="${BUILD_DIR:-${1:-build}}"
 
-sources=$(find src tools -name '*.cpp' | sort)
+# Prefer the compilation database (CMAKE_EXPORT_COMPILE_COMMANDS is on by
+# default) so lint sees exactly the translation units the build compiles;
+# fall back to a find sweep when no build directory exists yet.
+if [ -f "$BUILD_DIR/compile_commands.json" ]; then
+  sources=$(grep -o '"file": *"[^"]*"' "$BUILD_DIR/compile_commands.json" \
+    | sed 's/.*"file": *"//; s/"$//' \
+    | grep -E '/(src|tools)/.*\.cpp$' | sort -u)
+fi
+if [ -z "${sources:-}" ]; then
+  sources=$(find src tools -name '*.cpp' | sort)
+fi
 
 if command -v clang-tidy >/dev/null 2>&1; then
   if [ ! -f "$BUILD_DIR/compile_commands.json" ]; then
