@@ -17,6 +17,8 @@
 
 #include "bench_common.h"
 #include "core/dsp_scheduler.h"
+#include "core/ilp_model.h"
+#include "lp/milp.h"
 #include "core/dsp_system.h"
 #include "core/priority.h"
 #include "lp/simplex.h"
@@ -125,6 +127,63 @@ void BM_SimplexSolveFlat(benchmark::State& state) {
   for (auto _ : state) benchmark::DoNotOptimize(solver.solve(m));
 }
 BENCHMARK(BM_SimplexSolveFlat)->Arg(10)->Arg(30)->Arg(60)->Arg(120);
+
+void BM_SimplexWarmRestart(benchmark::State& state) {
+  // The branch-and-bound access pattern in isolation: solve once cold,
+  // then repeatedly tighten one bound and re-solve from the stored
+  // optimal basis (dual repair instead of Phase I + II from scratch).
+  const int n = static_cast<int>(state.range(0));
+  Rng rng(31);
+  lp::Model m;
+  for (int v = 0; v < n; ++v) m.add_var(0.0, 10.0, rng.uniform(-5.0, 5.0));
+  for (int c = 0; c < n; ++c) {
+    lp::LinearExpr e;
+    for (int v = 0; v < n; ++v) e.add(v, rng.uniform(0.0, 3.0));
+    m.add_constraint(std::move(e), lp::Sense::kLe, rng.uniform(5.0, 20.0));
+  }
+  lp::BoundedSimplex bs(m, {});
+  lp::Basis base;
+  const lp::Solution cold = bs.solve(nullptr, &base);
+  // Tighten past the optimal value of the first nonzero variable so the
+  // warm solve has actual repair work.
+  std::size_t var = 0;
+  for (std::size_t v = 0; v < cold.x.size(); ++v)
+    if (cold.x[v] > 0.5) var = v;
+  const double cut = cold.x[var] * 0.5;
+  for (auto _ : state) {
+    lp::Basis warm = base;
+    bs.set_var_bounds(static_cast<lp::VarId>(var), 0.0, cut);
+    benchmark::DoNotOptimize(bs.solve(&warm, nullptr));
+    bs.reset_bounds();
+  }
+}
+BENCHMARK(BM_SimplexWarmRestart)->Arg(30)->Arg(60);
+
+void BM_MilpSolve(benchmark::State& state) {
+  // Full branch & bound over the paper's §III model on an instance whose
+  // relaxation is fractional. Arg toggles warm starting (child nodes from
+  // the parent basis, the root from the previous solve): 0 = everything
+  // cold, 1 = warm. Serial so the comparison isolates the basis reuse.
+  IlpProblem p;
+  p.machine_rates = {1.0, 1.4};
+  p.tasks.resize(5);
+  p.tasks[0].size_mi = 4.0;
+  p.tasks[1].size_mi = 1.0;
+  p.tasks[1].parents = {0};
+  p.tasks[2].size_mi = 3.0;
+  p.tasks[2].parents = {1};
+  p.tasks[3].size_mi = 5.0;
+  p.tasks[3].parents = {2};
+  p.tasks[4].size_mi = 2.0;
+  const lp::Model m = build_ilp_model(p, /*enforce_deadlines=*/true);
+  lp::MilpSolver::Options o;
+  o.warm_start = state.range(0) != 0;
+  o.threads = 1;
+  lp::MilpSolver solver(o);
+  for (auto _ : state) benchmark::DoNotOptimize(solver.solve(m));
+  state.SetItemsProcessed(state.iterations() * solver.last_nodes());
+}
+BENCHMARK(BM_MilpSolve)->Arg(0)->Arg(1);
 
 void BM_PriorityComputeJob(benchmark::State& state) {
   // Full engine context so waiting/remaining queries are realistic.

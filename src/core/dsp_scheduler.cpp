@@ -257,8 +257,20 @@ std::vector<TaskPlacement> DspScheduler::schedule_ilp(
     }
   }
 
-  IlpScheduleResult result =
-      exact ? solve_ilp_schedule(problem) : solve_relax_round(problem);
+  IlpScheduleResult result;
+  if (exact) {
+    if (exact_solver_ == nullptr) {
+      lp::MilpSolver::Options mo;
+      mo.warm_start = options_.warm_start;
+      mo.parallel_nodes = options_.ilp_parallel_nodes;
+      mo.threads = options_.ilp_threads;
+      exact_solver_ = std::make_unique<lp::MilpSolver>(mo);
+    }
+    result = solve_ilp_schedule(problem, IlpSolveOptions{}, *exact_solver_);
+  } else {
+    result = solve_relax_round(
+        problem, options_.warm_start ? &relax_basis_ : nullptr);
+  }
   if (!result.ok()) {
     DSP_WARN("ILP solve failed (%s); falling back to heuristic",
              lp::to_string(result.status));

@@ -3,7 +3,10 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <cstdint>
+#include <vector>
 
+#include "core/ilp_model.h"
 #include "lp/milp.h"
 #include "lp/model.h"
 #include "lp/simplex.h"
@@ -350,6 +353,266 @@ TEST(MilpTest, RoundToIntegersDetectsInfeasibleRounding) {
   m.add_constraint(LinearExpr().add(x, 1), Sense::kGe, 2.4);
   std::vector<double> sol{2.4};
   EXPECT_FALSE(round_to_integers(m, sol));
+}
+
+// ---------------------------------------------------------------------
+// Warm start: basis round-trip, dual repair, Bland fallback
+// ---------------------------------------------------------------------
+
+TEST(WarmStartTest, BasisRoundTripReusesOptimalBasis) {
+  // Re-solving the same model from its own optimal basis must accept the
+  // warm basis and land on the same optimum without a Phase I.
+  Model m;
+  m.set_direction(Direction::kMaximize);
+  const VarId x = m.add_var(0, kInf, 3.0);
+  const VarId y = m.add_var(0, kInf, 2.0);
+  m.add_constraint(LinearExpr().add(x, 1).add(y, 1), Sense::kLe, 4);
+  m.add_constraint(LinearExpr().add(x, 1).add(y, 3), Sense::kLe, 6);
+
+  SimplexSolver solver;
+  Basis basis;
+  const Solution cold = solver.solve(m, &basis);
+  ASSERT_EQ(cold.status, SolveStatus::kOptimal);
+  ASSERT_FALSE(basis.empty());
+  EXPECT_FALSE(solver.last_stats().warm_used);
+
+  const Solution warm = solver.solve(m, &basis);
+  ASSERT_EQ(warm.status, SolveStatus::kOptimal);
+  EXPECT_TRUE(solver.last_stats().warm_used);
+  EXPECT_NEAR(warm.objective, cold.objective, 1e-9);
+  // The optimal basis is already optimal: no pivots needed.
+  EXPECT_EQ(solver.last_stats().iterations, 0);
+}
+
+TEST(WarmStartTest, DualRepairAfterBoundTightening) {
+  // Branch-and-bound access pattern: tighten one variable bound past its
+  // basic value and re-solve warm — the dual simplex must repair the
+  // single violated row instead of cold-starting.
+  Model m;
+  m.set_direction(Direction::kMaximize);
+  const VarId x = m.add_var(0, kInf, 3.0);
+  const VarId y = m.add_var(0, kInf, 2.0);
+  m.add_constraint(LinearExpr().add(x, 1).add(y, 1), Sense::kLe, 4);
+  m.add_constraint(LinearExpr().add(x, 1).add(y, 3), Sense::kLe, 6);
+
+  BoundedSimplex bs(m, {});
+  Basis basis;
+  const Solution cold = bs.solve(nullptr, &basis);
+  ASSERT_EQ(cold.status, SolveStatus::kOptimal);
+  ASSERT_NEAR(cold.x[0], 4.0, 1e-6);  // x basic at 4
+
+  bs.set_var_bounds(x, 0.0, 2.5);  // cut below the optimal vertex
+  const Solution warm = bs.solve(&basis, nullptr);
+  ASSERT_EQ(warm.status, SolveStatus::kOptimal);
+  EXPECT_TRUE(bs.stats().warm_used);
+  EXPECT_GT(bs.stats().dual_iterations, 0);
+  EXPECT_NEAR(warm.x[0], 2.5, 1e-6);
+
+  // Reference: cold solve of the tightened model agrees.
+  BoundedSimplex ref(m, {});
+  ref.set_var_bounds(x, 0.0, 2.5);
+  const Solution check = ref.solve(nullptr, nullptr);
+  ASSERT_EQ(check.status, SolveStatus::kOptimal);
+  EXPECT_NEAR(warm.objective, check.objective, 1e-7);
+  (void)y;
+}
+
+TEST(WarmStartTest, DegenerateDualExercisesBlandFallback) {
+  // Zero objective => every dual pivot is degenerate (|z_enter| = 0). A
+  // warm re-solve violating 32 rows at once must push the degenerate
+  // streak past the Bland trigger and still terminate at an optimum.
+  constexpr int kRows = 32;
+  Model m;
+  std::vector<VarId> xs, us;
+  for (int i = 0; i < kRows; ++i) {
+    xs.push_back(m.add_var(0.0, 1.0, 0.0));
+    us.push_back(m.add_var(0.0, 1.0, 0.0));
+  }
+  for (int i = 0; i < kRows; ++i)
+    m.add_constraint(LinearExpr().add(xs[static_cast<std::size_t>(i)], 1.0)
+                         .add(us[static_cast<std::size_t>(i)], -1.0),
+                     Sense::kLe, 0.0);
+
+  BoundedSimplex bs(m, {});
+  Basis basis;
+  ASSERT_EQ(bs.solve(nullptr, &basis).status, SolveStatus::kOptimal);
+
+  // Fix every x to 1: all rows become x_i - u_i = 1 - 0 > 0, violated.
+  for (int i = 0; i < kRows; ++i)
+    bs.set_var_bounds(xs[static_cast<std::size_t>(i)], 1.0, 1.0);
+  const Solution warm = bs.solve(&basis, nullptr);
+  ASSERT_EQ(warm.status, SolveStatus::kOptimal);
+  EXPECT_TRUE(bs.stats().warm_used);
+  EXPECT_GE(bs.stats().dual_iterations, kRows);
+  EXPECT_GT(bs.stats().bland_pivots, 0);
+  EXPECT_TRUE(m.is_feasible(warm.x, 1e-6));
+  for (int i = 0; i < kRows; ++i)
+    EXPECT_NEAR(warm.x[static_cast<std::size_t>(2 * i + 1)], 1.0, 1e-6);
+}
+
+TEST(WarmStartTest, StaleBasisShapeFallsBackCold) {
+  // A basis exported from a differently shaped model must be rejected
+  // (cold fallback), not crash or corrupt the solve.
+  Model small;
+  small.add_var(0, 5, 1.0);
+  small.add_constraint(LinearExpr().add(0, 1.0), Sense::kLe, 3.0);
+  SimplexSolver solver;
+  Basis basis;
+  ASSERT_EQ(solver.solve(small, &basis).status, SolveStatus::kOptimal);
+
+  Model big;
+  big.add_var(0, 5, 1.0);
+  big.add_var(0, 5, 2.0);
+  big.add_constraint(LinearExpr().add(0, 1.0).add(1, 1.0), Sense::kLe, 4.0);
+  big.add_constraint(LinearExpr().add(0, 1.0), Sense::kGe, 1.0);
+  Basis stale = basis;
+  const Solution s = solver.solve(big, &stale);
+  ASSERT_EQ(s.status, SolveStatus::kOptimal);
+  EXPECT_FALSE(solver.last_stats().warm_used);
+  EXPECT_NEAR(s.objective, 1.0, 1e-6);
+}
+
+// ---------------------------------------------------------------------
+// MILP warm-vs-cold equivalence and parallel-wave determinism
+// ---------------------------------------------------------------------
+
+namespace {
+
+/// Small ILP scheduling fixtures spanning the shapes the exact scheduler
+/// produces: independent tasks, a chain, and a diamond.
+std::vector<IlpProblem> ilp_fixtures() {
+  std::vector<IlpProblem> out;
+  {
+    IlpProblem p;
+    p.machine_rates = {1.0, 1.0};
+    p.tasks.resize(3);
+    p.tasks[0].size_mi = 1.0;
+    p.tasks[1].size_mi = 2.0;
+    p.tasks[2].size_mi = 3.0;
+    out.push_back(std::move(p));
+  }
+  {
+    IlpProblem p;
+    p.machine_rates = {1.0, 2.0};
+    p.tasks.resize(3);
+    p.tasks[0].size_mi = 2.0;
+    p.tasks[1].size_mi = 2.0;
+    p.tasks[1].parents = {0};
+    p.tasks[2].size_mi = 2.0;
+    p.tasks[2].parents = {1};
+    out.push_back(std::move(p));
+  }
+  {
+    IlpProblem p;
+    p.machine_rates = {1.0, 1.0};
+    p.tasks.resize(4);
+    p.tasks[0].size_mi = 1.0;
+    p.tasks[1].size_mi = 2.0;
+    p.tasks[1].parents = {0};
+    p.tasks[2].size_mi = 2.0;
+    p.tasks[2].parents = {0};
+    p.tasks[3].size_mi = 1.0;
+    p.tasks[3].parents = {1, 2};
+    out.push_back(std::move(p));
+  }
+  return out;
+}
+
+}  // namespace
+
+TEST(MilpWarmStartTest, WarmMatchesColdOnIlpFixtures) {
+  for (const IlpProblem& p : ilp_fixtures()) {
+    const Model model = build_ilp_model(p, /*enforce_deadlines=*/true);
+
+    MilpSolver::Options cold_opts;
+    cold_opts.warm_start = false;
+    cold_opts.parallel_nodes = 1;
+    MilpSolver cold(cold_opts);
+    const Solution c = cold.solve(model);
+
+    MilpSolver::Options warm_opts;
+    warm_opts.warm_start = true;
+    MilpSolver warm(warm_opts);
+    const Solution w = warm.solve(model);
+
+    ASSERT_EQ(w.status, c.status);
+    if (c.status == SolveStatus::kOptimal) {
+      EXPECT_NEAR(w.objective, c.objective, 1e-6);
+      EXPECT_TRUE(model.is_feasible(w.x, 1e-4));
+      // Child nodes re-solve from the parent basis; an integral root
+      // never branches, so only expect hits when the search did.
+      if (warm.last_nodes() > 1) {
+        EXPECT_GT(warm.last_warm_hits(), 0);
+      }
+    }
+  }
+}
+
+TEST(MilpWarmStartTest, WarmMatchesColdOnRandomKnapsacks) {
+  for (int seed = 0; seed < 10; ++seed) {
+    Rng rng(static_cast<std::uint64_t>(seed) * 389 + 7);
+    const int n = static_cast<int>(rng.uniform_int(3, 10));
+    Model m;
+    m.set_direction(Direction::kMaximize);
+    LinearExpr caprow;
+    for (int i = 0; i < n; ++i)
+      caprow.add(m.add_binary_var(rng.uniform(1.0, 20.0)),
+                 rng.uniform(1.0, 10.0));
+    m.add_constraint(std::move(caprow), Sense::kLe, rng.uniform(5.0, 25.0));
+
+    MilpSolver::Options cold_opts;
+    cold_opts.warm_start = false;
+    MilpSolver cold(cold_opts);
+    MilpSolver warm;  // defaults: warm_start on
+    const Solution c = cold.solve(m);
+    const Solution w = warm.solve(m);
+    ASSERT_EQ(w.status, c.status) << "seed " << seed;
+    EXPECT_NEAR(w.objective, c.objective, 1e-6) << "seed " << seed;
+  }
+}
+
+TEST(MilpWarmStartTest, PersistentSolverWarmStartsAcrossPeriods) {
+  // Cross-period pattern: same model shape, shifted data. The second
+  // solve's root must warm-start from the first solve's root basis.
+  MilpSolver solver;
+  for (int period = 0; period < 3; ++period) {
+    IlpProblem p;
+    p.machine_rates = {1.0, 1.0};
+    p.tasks.resize(3);
+    for (int t = 0; t < 3; ++t)
+      p.tasks[static_cast<std::size_t>(t)].size_mi =
+          1.0 + t + 0.25 * period;
+    const Model model = build_ilp_model(p, true);
+    const Solution s = solver.solve(model);
+    ASSERT_EQ(s.status, SolveStatus::kOptimal) << "period " << period;
+    if (period > 0) {
+      EXPECT_GT(solver.last_warm_hits(), 0) << "period " << period;
+    }
+  }
+}
+
+TEST(MilpParallelTest, WaveSolutionsBitIdenticalAcrossThreadCounts) {
+  for (const IlpProblem& p : ilp_fixtures()) {
+    const Model model = build_ilp_model(p, true);
+    std::vector<Solution> sols;
+    std::vector<int> nodes;
+    for (int threads : {1, 2, 4}) {
+      MilpSolver::Options o;
+      o.threads = threads;  // parallel_nodes stays at its default (8)
+      MilpSolver s(o);
+      sols.push_back(s.solve(model));
+      nodes.push_back(s.last_nodes());
+    }
+    for (std::size_t k = 1; k < sols.size(); ++k) {
+      ASSERT_EQ(sols[k].status, sols[0].status);
+      EXPECT_EQ(nodes[k], nodes[0]);
+      // Bit-identical, not approximately equal.
+      ASSERT_EQ(sols[k].x.size(), sols[0].x.size());
+      for (std::size_t j = 0; j < sols[0].x.size(); ++j)
+        EXPECT_EQ(sols[k].x[j], sols[0].x[j]) << "var " << j;
+      EXPECT_EQ(sols[k].objective, sols[0].objective);
+    }
+  }
 }
 
 TEST(StatusTest, ToStringCoversAll) {

@@ -188,12 +188,12 @@ if ! skipped bench-smoke; then
   # No EXIT trap here: the analyze stage may already own it.
   smoke_tmp=$(mktemp -d)
   build/bench/micro_bench \
-    --benchmark_filter='BM_Simplex|BM_PriorityComputeJob|BM_ComputeAll' \
+    --benchmark_filter='BM_Simplex|BM_Milp|BM_PriorityComputeJob|BM_ComputeAll' \
     --benchmark_min_time=0.05 \
     --json "$smoke_tmp/micro.json"
   build/tools/json_check "$smoke_tmp/micro.json" \
     bench env.scale env.seed env.points series runs scalars \
-    scalars.BM_SimplexSolve_60_ns scalars.BM_PriorityComputeJob_1000_ns \
+    scalars.BM_SimplexSolve_60_ns scalars.BM_MilpSolve_1_ns scalars.BM_PriorityComputeJob_1000_ns \
     scalars.BM_ComputeAllIncremental_20_ns \
     registry.counters registry.gauges registry.histograms
   rm -rf "$smoke_tmp"
@@ -203,7 +203,7 @@ if ! skipped bench-diff; then
   banner "bench diff (vs committed BENCH_hotpath.json)"
   diff_tmp=$(mktemp -d)
   build/bench/micro_bench \
-    --benchmark_filter='BM_Simplex|BM_PriorityComputeJob|BM_ComputeAll' \
+    --benchmark_filter='BM_Simplex|BM_Milp|BM_PriorityComputeJob|BM_ComputeAll' \
     --benchmark_min_time=0.05 \
     --json "$diff_tmp/micro.json" >/dev/null
   build/tools/bench_diff bench/BENCH_hotpath.json "$diff_tmp/micro.json" \
