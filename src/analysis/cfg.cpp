@@ -1,0 +1,569 @@
+#include "analysis/cfg.h"
+
+#include <cctype>
+#include <sstream>
+
+namespace dsp::analysis {
+namespace {
+
+bool is_ident_start(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
+}
+
+bool is_ident_char(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+
+bool is_digit(char c) { return std::isdigit(static_cast<unsigned char>(c)); }
+
+/// Multi-character operators, longest first so maximal munch wins.
+constexpr const char* kOps3[] = {"<<=", ">>=", "->*", "..."};
+constexpr const char* kOps2[] = {"<<", ">>", "<=", ">=", "==", "!=", "&&",
+                                 "||", "->", "::", "++", "--", "+=", "-=",
+                                 "*=", "/=", "%=", "&=", "|=", "^="};
+
+}  // namespace
+
+const char* to_string(EdgeKind k) {
+  switch (k) {
+    case EdgeKind::kFall: return "fall";
+    case EdgeKind::kTrue: return "true";
+    case EdgeKind::kFalse: return "false";
+    case EdgeKind::kBack: return "back";
+  }
+  return "?";
+}
+
+std::vector<CfgTok> cfg_tokenize(const std::vector<Line>& lines,
+                                 int begin_line, int end_line) {
+  std::vector<CfgTok> toks;
+  for (int ln = begin_line; ln <= end_line; ++ln) {
+    const std::size_t idx = static_cast<std::size_t>(ln - 1);
+    if (idx >= lines.size()) break;
+    if (lines[idx].preprocessor) continue;
+    const std::string& s = lines[idx].code;
+    std::size_t p = 0;
+    while (p < s.size()) {
+      const char c = s[p];
+      if (std::isspace(static_cast<unsigned char>(c))) {
+        ++p;
+        continue;
+      }
+      if (is_ident_start(c)) {
+        std::size_t q = p + 1;
+        while (q < s.size() && is_ident_char(s[q])) ++q;
+        toks.push_back({s.substr(p, q - p), ln});
+        p = q;
+        continue;
+      }
+      if (is_digit(c) || (c == '.' && p + 1 < s.size() && is_digit(s[p + 1]))) {
+        // Number literal: digits, hex, separators, suffixes, and an
+        // exponent sign directly after e/E/p/P.
+        std::size_t q = p;
+        while (q < s.size()) {
+          const char d = s[q];
+          if (is_ident_char(d) || d == '.' || d == '\'') {
+            ++q;
+          } else if ((d == '+' || d == '-') && q > p &&
+                     (s[q - 1] == 'e' || s[q - 1] == 'E' || s[q - 1] == 'p' ||
+                      s[q - 1] == 'P')) {
+            ++q;
+          } else {
+            break;
+          }
+        }
+        toks.push_back({s.substr(p, q - p), ln});
+        p = q;
+        continue;
+      }
+      if (c == '"' || c == '\'') {
+        // cpp_lex blanked the body; collapse to a placeholder token.
+        const std::size_t close = s.find(c, p + 1);
+        toks.push_back({std::string(2, c), ln});
+        p = close == std::string::npos ? s.size() : close + 1;
+        continue;
+      }
+      bool matched = false;
+      for (const char* op : kOps3) {
+        if (s.compare(p, 3, op) == 0) {
+          toks.push_back({op, ln});
+          p += 3;
+          matched = true;
+          break;
+        }
+      }
+      if (matched) continue;
+      for (const char* op : kOps2) {
+        if (s.compare(p, 2, op) == 0) {
+          toks.push_back({op, ln});
+          p += 2;
+          matched = true;
+          break;
+        }
+      }
+      if (matched) continue;
+      toks.push_back({std::string(1, c), ln});
+      ++p;
+    }
+  }
+  return toks;
+}
+
+namespace {
+
+/// Recursive-descent statement parser over the body token range.
+class CfgBuilder {
+ public:
+  CfgBuilder(const std::vector<CfgTok>& toks, std::size_t lo, std::size_t hi)
+      : t_(toks), pos_(lo), end_(hi) {}
+
+  Cfg build(std::string file, std::string qual) {
+    cfg_.file = std::move(file);
+    cfg_.qual = std::move(qual);
+    new_block(line_here());  // entry
+    new_block(line_here());  // exit
+    cur_ = cfg_.entry;
+    parse_seq();
+    edge(cur_, cfg_.exit, EdgeKind::kFall);
+    return std::move(cfg_);
+  }
+
+ private:
+  struct BreakCtx {
+    bool is_loop = false;       ///< continue binds only to loops.
+    int continue_to = -1;       ///< Latch (for) or head (while) block.
+    bool continue_back = false; ///< continue edge is the back edge itself.
+    std::vector<int> breaks;    ///< Blocks whose flow exits to `after`.
+  };
+
+  bool done() const { return pos_ >= end_; }
+  const std::string& peek() const {
+    static const std::string kEnd;
+    return done() ? kEnd : t_[pos_].text;
+  }
+  int line_here() const {
+    if (pos_ < end_) return t_[pos_].line;
+    return end_ > 0 && end_ <= t_.size() ? t_[end_ - 1].line : 0;
+  }
+  void advance() { ++pos_; }
+  bool accept(const char* tok) {
+    if (peek() == tok) {
+      advance();
+      return true;
+    }
+    return false;
+  }
+
+  int new_block(int line) {
+    cfg_.blocks.push_back({});
+    cfg_.blocks.back().line = line;
+    return static_cast<int>(cfg_.blocks.size()) - 1;
+  }
+  void edge(int from, int to, EdgeKind k, std::string cond = {}) {
+    cfg_.blocks[static_cast<std::size_t>(from)].succ.push_back(
+        {to, k, std::move(cond)});
+  }
+  void add_stmt(int block, std::string text, int line) {
+    if (text.empty()) return;
+    cfg_.blocks[static_cast<std::size_t>(block)].stmts.push_back(
+        {std::move(text), line});
+  }
+
+  static void append_tok(std::string& out, const std::string& tok) {
+    if (!out.empty()) out += ' ';
+    out += tok;
+  }
+
+  /// Collects tokens until a top-level `;` (consumed, not included) or a
+  /// top-level `}` (not consumed). Always makes progress.
+  std::string collect_until_semi() {
+    std::string text;
+    int depth = 0;
+    const std::size_t start = pos_;
+    while (!done()) {
+      const std::string& tok = peek();
+      if (depth == 0 && tok == ";") {
+        advance();
+        return text;
+      }
+      if (depth == 0 && tok == "}") break;
+      if (tok == "(" || tok == "[" || tok == "{") ++depth;
+      if (tok == ")" || tok == "]" || tok == "}") --depth;
+      append_tok(text, tok);
+      advance();
+    }
+    if (pos_ == start && !done()) advance();  // never stall on junk
+    return text;
+  }
+
+  /// Consumes a parenthesized group `( ... )` and returns the inside.
+  std::string collect_parens() {
+    std::string text;
+    if (!accept("(")) return text;
+    int depth = 1;
+    while (!done()) {
+      const std::string& tok = peek();
+      if (tok == "(") ++depth;
+      if (tok == ")") {
+        --depth;
+        if (depth == 0) {
+          advance();
+          return text;
+        }
+      }
+      append_tok(text, tok);
+      advance();
+    }
+    return text;
+  }
+
+  void parse_seq() {
+    while (!done() && peek() != "}") parse_stmt();
+  }
+
+  void parse_stmt() {
+    const std::string& tok = peek();
+    if (tok == "{") {
+      advance();
+      parse_seq();
+      accept("}");
+    } else if (tok == "if") {
+      parse_if();
+    } else if (tok == "while") {
+      parse_while();
+    } else if (tok == "for") {
+      parse_for();
+    } else if (tok == "do") {
+      parse_do();
+    } else if (tok == "switch") {
+      parse_switch();
+    } else if (tok == "try") {
+      parse_try();
+    } else if (tok == "break") {
+      const int line = line_here();
+      advance();
+      accept(";");
+      if (!ctxs_.empty()) ctxs_.back().breaks.push_back(cur_);
+      cur_ = new_block(line);  // unreachable continuation
+    } else if (tok == "continue") {
+      const int line = line_here();
+      advance();
+      accept(";");
+      for (auto it = ctxs_.rbegin(); it != ctxs_.rend(); ++it) {
+        if (!it->is_loop) continue;
+        edge(cur_, it->continue_to,
+             it->continue_back ? EdgeKind::kBack : EdgeKind::kFall);
+        break;
+      }
+      cur_ = new_block(line);
+    } else if (tok == "return") {
+      const int line = line_here();
+      const std::string text = collect_until_semi();
+      add_stmt(cur_, text, line);
+      edge(cur_, cfg_.exit, EdgeKind::kFall);
+      cur_ = new_block(line);
+    } else if (tok == ";") {
+      advance();
+    } else if (tok == "else" || tok == "case" || tok == "default") {
+      advance();  // stray label outside its construct; skip defensively
+    } else {
+      const int line = line_here();
+      add_stmt(cur_, collect_until_semi(), line);
+    }
+  }
+
+  void parse_if() {
+    const int line = line_here();
+    advance();  // if
+    accept("constexpr");
+    const std::string cond = collect_parens();
+    const int head = cur_;
+    add_stmt(head, cond, line);  // init-statements / side effects in the cond
+    const int then_b = new_block(line);
+    edge(head, then_b, EdgeKind::kTrue, cond);
+    cur_ = then_b;
+    parse_stmt();
+    const int then_end = cur_;
+    int else_end = -1;
+    if (accept("else")) {
+      const int else_b = new_block(line_here());
+      edge(head, else_b, EdgeKind::kFalse, cond);
+      cur_ = else_b;
+      parse_stmt();
+      else_end = cur_;
+    }
+    const int merge = new_block(line_here());
+    edge(then_end, merge, EdgeKind::kFall);
+    if (else_end >= 0)
+      edge(else_end, merge, EdgeKind::kFall);
+    else
+      edge(head, merge, EdgeKind::kFalse, cond);
+    cur_ = merge;
+  }
+
+  void parse_while() {
+    const int line = line_here();
+    advance();  // while
+    const std::string cond = collect_parens();
+    const int head = new_block(line);
+    cfg_.blocks[static_cast<std::size_t>(head)].is_loop_head = true;
+    edge(cur_, head, EdgeKind::kFall);
+    add_stmt(head, cond, line);
+    const int body = new_block(line);
+    edge(head, body, EdgeKind::kTrue, cond);
+    ctxs_.push_back({true, head, true, {}});
+    cur_ = body;
+    parse_stmt();
+    edge(cur_, head, EdgeKind::kBack);
+    const int after = new_block(line_here());
+    edge(head, after, EdgeKind::kFalse, cond);
+    for (const int b : ctxs_.back().breaks) edge(b, after, EdgeKind::kFall);
+    ctxs_.pop_back();
+    cur_ = after;
+  }
+
+  void parse_for() {
+    const int line = line_here();
+    advance();  // for
+    if (!accept("(")) return;
+    // Split the header at top-level ';' / ':' inside the parens.
+    std::string init, cond, incr;
+    bool range_for = false;
+    {
+      int depth = 0;
+      int part = 0;
+      std::string* dst[3] = {&init, &cond, &incr};
+      while (!done()) {
+        const std::string& tok = peek();
+        if (tok == "(" || tok == "[" || tok == "{") ++depth;
+        if (tok == "]" || tok == "}") --depth;
+        if (tok == ")") {
+          if (depth == 0) {
+            advance();
+            break;
+          }
+          --depth;
+        }
+        if (depth == 0 && tok == ";" && part < 2) {
+          ++part;
+          advance();
+          continue;
+        }
+        if (depth == 0 && tok == ":" && part == 0) {
+          range_for = true;
+          ++part;
+          advance();
+          continue;
+        }
+        append_tok(*dst[part], tok);
+        advance();
+      }
+    }
+    if (range_for) {
+      // `for (decl : range)` — the element is an opaque read of the
+      // range, modeled as a call so taint propagates from the container.
+      const int head = new_block(line);
+      cfg_.blocks[static_cast<std::size_t>(head)].is_loop_head = true;
+      edge(cur_, head, EdgeKind::kFall);
+      add_stmt(head, init + " = __range ( " + cond + " )", line);
+      const int body = new_block(line);
+      edge(head, body, EdgeKind::kTrue);
+      ctxs_.push_back({true, head, true, {}});
+      cur_ = body;
+      parse_stmt();
+      edge(cur_, head, EdgeKind::kBack);
+      const int after = new_block(line_here());
+      edge(head, after, EdgeKind::kFalse);
+      for (const int b : ctxs_.back().breaks) edge(b, after, EdgeKind::kFall);
+      ctxs_.pop_back();
+      cur_ = after;
+      return;
+    }
+    add_stmt(cur_, init, line);  // pre-header
+    const int head = new_block(line);
+    cfg_.blocks[static_cast<std::size_t>(head)].is_loop_head = true;
+    edge(cur_, head, EdgeKind::kFall);
+    add_stmt(head, cond, line);
+    const int body = new_block(line);
+    edge(head, body, EdgeKind::kTrue, cond);
+    const int latch = new_block(line);
+    add_stmt(latch, incr, line);
+    edge(latch, head, EdgeKind::kBack);
+    ctxs_.push_back({true, latch, false, {}});
+    cur_ = body;
+    parse_stmt();
+    edge(cur_, latch, EdgeKind::kFall);
+    const int after = new_block(line_here());
+    edge(head, after, EdgeKind::kFalse, cond);
+    for (const int b : ctxs_.back().breaks) edge(b, after, EdgeKind::kFall);
+    ctxs_.pop_back();
+    cur_ = after;
+  }
+
+  void parse_do() {
+    const int line = line_here();
+    advance();  // do
+    const int body = new_block(line);
+    cfg_.blocks[static_cast<std::size_t>(body)].is_loop_head = true;
+    edge(cur_, body, EdgeKind::kFall);
+    const int latch = new_block(line);
+    ctxs_.push_back({true, latch, false, {}});
+    cur_ = body;
+    parse_stmt();
+    edge(cur_, latch, EdgeKind::kFall);
+    accept("while");
+    const std::string cond = collect_parens();
+    accept(";");
+    add_stmt(latch, cond, line_here());
+    edge(latch, body, EdgeKind::kBack, cond);
+    const int after = new_block(line_here());
+    edge(latch, after, EdgeKind::kFalse, cond);
+    for (const int b : ctxs_.back().breaks) edge(b, after, EdgeKind::kFall);
+    ctxs_.pop_back();
+    cur_ = after;
+  }
+
+  void parse_switch() {
+    const int line = line_here();
+    advance();  // switch
+    const std::string cond = collect_parens();
+    const int head = cur_;
+    add_stmt(head, cond, line);
+    bool has_default = false;
+    ctxs_.push_back({false, -1, false, {}});
+    if (accept("{")) {
+      while (!done() && peek() != "}") {
+        if (peek() == "case" || peek() == "default") {
+          has_default = has_default || peek() == "default";
+          const int lbl_line = line_here();
+          std::string label;
+          int depth = 0;
+          while (!done()) {
+            const std::string& tok = peek();
+            if (depth == 0 && tok == ":" ) {
+              advance();
+              break;
+            }
+            if (tok == "(" || tok == "[" || tok == "{") ++depth;
+            if (tok == ")" || tok == "]" || tok == "}") --depth;
+            append_tok(label, tok);
+            advance();
+          }
+          const int b = new_block(lbl_line);
+          edge(head, b, EdgeKind::kTrue, label);
+          edge(cur_, b, EdgeKind::kFall);  // case fall-through
+          cur_ = b;
+        } else {
+          parse_stmt();
+        }
+      }
+      accept("}");
+    }
+    const int after = new_block(line_here());
+    edge(cur_, after, EdgeKind::kFall);
+    if (!has_default) edge(head, after, EdgeKind::kFalse, cond);
+    for (const int b : ctxs_.back().breaks) edge(b, after, EdgeKind::kFall);
+    ctxs_.pop_back();
+    cur_ = after;
+  }
+
+  void parse_try() {
+    advance();  // try
+    const int try_entry = cur_;
+    parse_stmt();  // the compound block
+    const int try_end = cur_;
+    const int merge = new_block(line_here());
+    edge(try_end, merge, EdgeKind::kFall);
+    while (peek() == "catch") {
+      advance();
+      collect_parens();
+      const int cb = new_block(line_here());
+      edge(try_entry, cb, EdgeKind::kFall);
+      cur_ = cb;
+      parse_stmt();
+      edge(cur_, merge, EdgeKind::kFall);
+    }
+    cur_ = merge;
+  }
+
+  const std::vector<CfgTok>& t_;
+  std::size_t pos_;
+  std::size_t end_;
+  Cfg cfg_;
+  int cur_ = 0;
+  std::vector<BreakCtx> ctxs_;
+};
+
+}  // namespace
+
+std::string Cfg::dump() const {
+  std::ostringstream out;
+  out << "cfg " << qual << "\n";
+  for (std::size_t i = 0; i < blocks.size(); ++i) {
+    const BasicBlock& b = blocks[i];
+    out << "b" << i;
+    if (static_cast<int>(i) == entry) out << " (entry)";
+    if (static_cast<int>(i) == exit) out << " (exit)";
+    if (b.is_loop_head) out << " [loop]";
+    out << ":\n";
+    for (const CfgStmt& s : b.stmts) out << "  stmt " << s.text << "\n";
+    for (const CfgEdge& e : b.succ) {
+      out << "  -> b" << e.to << " " << to_string(e.kind);
+      if (!e.cond.empty()) out << " [" << e.cond << "]";
+      out << "\n";
+    }
+  }
+  return out.str();
+}
+
+Cfg build_cfg(const FunctionInfo& fn, const std::vector<Line>& lines) {
+  const std::vector<CfgTok> toks =
+      cfg_tokenize(lines, fn.begin_line, fn.end_line);
+  // Locate the body: the brace on begin_line whose matching close falls
+  // on end_line (skips constructor-init-list braces on the same line).
+  std::size_t open = toks.size();
+  std::size_t close = toks.size();
+  std::size_t fallback = toks.size();
+  for (std::size_t i = 0; i < toks.size() && open == toks.size(); ++i) {
+    if (toks[i].text != "{" || toks[i].line != fn.begin_line) continue;
+    if (fallback == toks.size()) fallback = i;
+    int depth = 0;
+    for (std::size_t j = i; j < toks.size(); ++j) {
+      if (toks[j].text == "{") ++depth;
+      if (toks[j].text == "}") {
+        --depth;
+        if (depth == 0) {
+          if (toks[j].line == fn.end_line) {
+            open = i;
+            close = j;
+          }
+          break;
+        }
+      }
+    }
+  }
+  if (open == toks.size() && fallback < toks.size()) {
+    open = fallback;
+    int depth = 0;
+    close = toks.size();
+    for (std::size_t j = open; j < toks.size(); ++j) {
+      if (toks[j].text == "{") ++depth;
+      if (toks[j].text == "}" && --depth == 0) {
+        close = j;
+        break;
+      }
+    }
+  }
+  if (open >= toks.size()) {
+    Cfg cfg;
+    cfg.file = fn.file;
+    cfg.qual = fn.qual;
+    cfg.blocks.resize(2);
+    cfg.blocks[0].succ.push_back({1, EdgeKind::kFall, {}});
+    return cfg;
+  }
+  CfgBuilder builder(toks, open + 1, close);
+  return builder.build(fn.file, fn.qual);
+}
+
+}  // namespace dsp::analysis

@@ -1,0 +1,95 @@
+// Per-function control-flow graphs for the dsp-dataflow analysis
+// (dsp_tidy --dataflow).
+//
+// Like the rest of the source-level tooling this is built on cpp_lex's
+// stripped line stream, not a compiler front end: the body of a function
+// indexed by cpp_index (FunctionInfo::begin_line..end_line) is
+// re-tokenized and parsed by a small recursive-descent statement walker
+// that understands the structured control flow this codebase uses —
+// if/else, while, do/while, for (classic and range), switch/case,
+// break/continue/return, try/catch and nested compound blocks. Anything
+// it cannot model (goto, expression lambdas) degrades to an opaque
+// statement in the current block rather than a parse failure, so the
+// downstream abstract interpretation stays sound-by-imprecision.
+//
+// Statements are stored as space-joined token text (one token stream,
+// shared with domains.h's expression parser); edges are labeled with the
+// branch sense and condition text so the dataflow solver can refine
+// intervals and clear taint along the taken branch.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "analysis/cpp_index.h"
+#include "analysis/cpp_lex.h"
+
+namespace dsp::analysis {
+
+/// One token of a function body: text plus the 1-based source line.
+struct CfgTok {
+  std::string text;
+  int line = 0;
+};
+
+/// Tokenizes the stripped code of `lines` (1-based, inclusive range).
+/// Preprocessor lines are skipped; string/char literals (already blanked
+/// by cpp_lex) collapse to `""` / `''` placeholder tokens; multi-char
+/// operators (`<<=`, `->`, `::`, ...) stay single tokens.
+std::vector<CfgTok> cfg_tokenize(const std::vector<Line>& lines,
+                                 int begin_line, int end_line);
+
+/// One statement of a basic block: space-joined token text.
+struct CfgStmt {
+  std::string text;
+  int line = 0;
+};
+
+enum class EdgeKind : std::uint8_t {
+  kFall,   ///< Unconditional fall-through.
+  kTrue,   ///< Branch taken when `cond` holds.
+  kFalse,  ///< Branch taken when `cond` fails.
+  kBack,   ///< Loop back edge (cond, when set, held — do/while latch).
+};
+
+const char* to_string(EdgeKind k);
+
+struct CfgEdge {
+  int to = -1;
+  EdgeKind kind = EdgeKind::kFall;
+  std::string cond;  ///< Condition text for kTrue/kFalse (and guarded kBack).
+};
+
+struct BasicBlock {
+  std::vector<CfgStmt> stmts;
+  std::vector<CfgEdge> succ;
+  bool is_loop_head = false;  ///< Widening point for the interval domain.
+  int line = 0;               ///< Line of the first statement (or creation).
+};
+
+/// The graph of one function. blocks[entry] receives the initial state;
+/// every `return` (and the body's fall-off end) edges into blocks[exit],
+/// which is always empty.
+struct Cfg {
+  std::string file;
+  std::string qual;
+  int entry = 0;
+  int exit = 1;
+  std::vector<BasicBlock> blocks;
+
+  /// Deterministic text rendering for the CFG golden tests:
+  ///   cfg <qual>
+  ///   b2: line 12 [loop]
+  ///     stmt <text>
+  ///     -> b3 true [<cond>]
+  std::string dump() const;
+};
+
+/// Builds the CFG of `fn` from its file's lexed lines. The body is
+/// located by matching the brace on fn.begin_line whose close falls on
+/// fn.end_line (constructor init lists and one-line bodies included).
+/// Returns an entry/exit-only graph when the body cannot be located.
+Cfg build_cfg(const FunctionInfo& fn, const std::vector<Line>& lines);
+
+}  // namespace dsp::analysis

@@ -205,6 +205,7 @@ class Indexer {
       : file_(std::move(path)), index_(index) {}
 
   void run(std::string_view text);
+  void run_lines(const std::vector<Line>& lines);
 
  private:
   // --- scope helpers ---
@@ -523,8 +524,9 @@ void Indexer::append_body_char(char c, int line_no) {
   (void)line_no;
 }
 
-void Indexer::run(std::string_view text) {
-  const std::vector<Line> lines = lex_lines(text);
+void Indexer::run(std::string_view text) { run_lines(lex_lines(text)); }
+
+void Indexer::run_lines(const std::vector<Line>& lines) {
   for (std::size_t li = 0; li < lines.size(); ++li) {
     const Line& line = lines[li];
     const int line_no = static_cast<int>(li) + 1;
@@ -856,6 +858,12 @@ void index_source(std::string_view path, std::string_view text,
                   CppIndex& index) {
   Indexer indexer(normalize_path(path), index);
   indexer.run(text);
+}
+
+void index_source_lines(std::string_view path, const std::vector<Line>& lines,
+                        CppIndex& index) {
+  Indexer indexer(normalize_path(path), index);
+  indexer.run_lines(lines);
 }
 
 bool index_source_file(const std::string& path, CppIndex& index,

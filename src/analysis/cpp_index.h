@@ -25,6 +25,8 @@
 #include <string_view>
 #include <vector>
 
+#include "analysis/cpp_lex.h"
+
 namespace dsp::analysis {
 
 /// One call site inside a function body.
@@ -122,6 +124,11 @@ struct CppIndex {
 /// subjects and rule scoping.
 void index_source(std::string_view path, std::string_view text,
                   CppIndex& index);
+
+/// Same indexing over pre-lexed lines (shared SourceCache — lex once,
+/// index once, analyze in every mode).
+void index_source_lines(std::string_view path, const std::vector<Line>& lines,
+                        CppIndex& index);
 
 /// Reads `path` from disk and indexes it. Returns false (and sets
 /// `error` when non-null) if the file cannot be read.

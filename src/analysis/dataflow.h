@@ -1,0 +1,116 @@
+// Generic forward dataflow solver over a Cfg (dsp-dataflow).
+//
+// The solver is a classic worklist fixpoint with widening, parameterized
+// on a Domain policy so the interval and taint lattices (domains.h) — or
+// a test-local toy lattice — plug in without touching the engine:
+//
+//   struct Domain {
+//     using State = ...;                     // copyable
+//     State bottom() const;                  // unreachable
+//     State boundary() const;                // function-entry state
+//     bool join_into(State& dst, const State& src) const;  // true: changed
+//     void widen(State& s, const State& prev) const;       // loop heads
+//     void transfer_stmt(const CfgStmt&, State&) const;
+//     void transfer_edge(const CfgEdge&, State&) const;    // refinement
+//   };
+//
+// Blocks are visited in reverse post order; after `widen_after` visits
+// of a loop head the domain's widening operator is applied so infinite
+// ascending chains (interval bounds growing 0,1,2,...) jump to their
+// limit. `max_visits` is a hard safety valve on top — a domain whose
+// widening is broken terminates anyway, with whatever post-fixpoint the
+// final states reached (sound for the rules: they only get MORE
+// approximate, never wrongly precise).
+#pragma once
+
+#include <algorithm>
+#include <deque>
+#include <vector>
+
+#include "analysis/cfg.h"
+
+namespace dsp::analysis {
+
+template <typename Domain>
+struct DataflowResult {
+  /// State at each block's entry (before its first statement).
+  std::vector<typename Domain::State> in;
+};
+
+/// Reverse post order from the entry; unreachable blocks keep their
+/// relative index order at the tail so every block gets a slot.
+inline std::vector<int> rpo_order(const Cfg& cfg) {
+  const int n = static_cast<int>(cfg.blocks.size());
+  std::vector<char> seen(static_cast<std::size_t>(n), 0);
+  std::vector<int> post;
+  post.reserve(static_cast<std::size_t>(n));
+  // Iterative DFS with an explicit stack of (block, next-edge) frames.
+  std::vector<std::pair<int, std::size_t>> stack;
+  stack.emplace_back(cfg.entry, 0);
+  seen[static_cast<std::size_t>(cfg.entry)] = 1;
+  while (!stack.empty()) {
+    auto& [b, next] = stack.back();
+    const auto& succ = cfg.blocks[static_cast<std::size_t>(b)].succ;
+    if (next < succ.size()) {
+      const int to = succ[next++].to;
+      if (to >= 0 && to < n && !seen[static_cast<std::size_t>(to)]) {
+        seen[static_cast<std::size_t>(to)] = 1;
+        stack.emplace_back(to, 0);
+      }
+    } else {
+      post.push_back(b);
+      stack.pop_back();
+    }
+  }
+  std::reverse(post.begin(), post.end());
+  for (int b = 0; b < n; ++b)
+    if (!seen[static_cast<std::size_t>(b)]) post.push_back(b);
+  return post;
+}
+
+template <typename Domain>
+DataflowResult<Domain> solve_forward(const Cfg& cfg, const Domain& dom,
+                                     int widen_after = 3,
+                                     int max_visits = 64) {
+  const int n = static_cast<int>(cfg.blocks.size());
+  DataflowResult<Domain> result;
+  result.in.assign(static_cast<std::size_t>(n), dom.bottom());
+  if (n == 0) return result;
+  result.in[static_cast<std::size_t>(cfg.entry)] = dom.boundary();
+
+  std::deque<int> worklist{cfg.entry};
+  std::vector<char> queued(static_cast<std::size_t>(n), 0);
+  queued[static_cast<std::size_t>(cfg.entry)] = 1;
+  std::vector<int> visits(static_cast<std::size_t>(n), 0);
+
+  while (!worklist.empty()) {
+    const int b = worklist.front();
+    worklist.pop_front();
+    queued[static_cast<std::size_t>(b)] = 0;
+    if (visits[static_cast<std::size_t>(b)]++ > max_visits) continue;
+
+    typename Domain::State out = result.in[static_cast<std::size_t>(b)];
+    for (const CfgStmt& s : cfg.blocks[static_cast<std::size_t>(b)].stmts)
+      dom.transfer_stmt(s, out);
+
+    for (const CfgEdge& e : cfg.blocks[static_cast<std::size_t>(b)].succ) {
+      if (e.to < 0 || e.to >= n) continue;
+      typename Domain::State along = out;
+      dom.transfer_edge(e, along);
+      typename Domain::State& dst = result.in[static_cast<std::size_t>(e.to)];
+      typename Domain::State joined = dst;
+      if (!dom.join_into(joined, along)) continue;
+      if (cfg.blocks[static_cast<std::size_t>(e.to)].is_loop_head &&
+          visits[static_cast<std::size_t>(e.to)] >= widen_after)
+        dom.widen(joined, dst);
+      dst = std::move(joined);
+      if (!queued[static_cast<std::size_t>(e.to)]) {
+        queued[static_cast<std::size_t>(e.to)] = 1;
+        worklist.push_back(e.to);
+      }
+    }
+  }
+  return result;
+}
+
+}  // namespace dsp::analysis

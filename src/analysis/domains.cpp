@@ -1,0 +1,1438 @@
+#include "analysis/domains.h"
+
+#include <algorithm>
+#include <cctype>
+#include <cmath>
+#include <cstdlib>
+#include <limits>
+#include <sstream>
+
+namespace dsp::analysis {
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+std::vector<std::string> split_tokens(const std::string& text) {
+  std::vector<std::string> toks;
+  std::istringstream in(text);
+  std::string tok;
+  while (in >> tok) toks.push_back(tok);
+  return toks;
+}
+
+bool is_ident_tok(const std::string& t) {
+  if (t.empty()) return false;
+  if (!std::isalpha(static_cast<unsigned char>(t[0])) && t[0] != '_')
+    return false;
+  for (const char c : t)
+    if (!std::isalnum(static_cast<unsigned char>(c)) && c != '_') return false;
+  return true;
+}
+
+bool is_number_tok(const std::string& t) {
+  return !t.empty() && (std::isdigit(static_cast<unsigned char>(t[0])) ||
+                        (t[0] == '.' && t.size() > 1 &&
+                         std::isdigit(static_cast<unsigned char>(t[1]))));
+}
+
+bool is_keyword(const std::string& t) {
+  static const char* kw[] = {"if",     "else",   "while",  "for",    "do",
+                             "switch", "case",   "return", "break",  "goto",
+                             "new",    "delete", "sizeof", "struct", "class",
+                             "using",  "typedef"};
+  for (const char* k : kw)
+    if (t == k) return true;
+  return false;
+}
+
+bool is_builtin_type_tok(const std::string& t) {
+  static const char* bt[] = {"unsigned", "signed", "long", "short",  "int",
+                             "char",     "double", "float", "bool",  "void",
+                             "wchar_t",  "auto"};
+  for (const char* b : bt)
+    if (t == b) return true;
+  return false;
+}
+
+bool is_type_qualifier(const std::string& t) {
+  return t == "const" || t == "constexpr" || t == "static" || t == "mutable" ||
+         t == "volatile" || t == "inline" || t == "thread_local" ||
+         t == "register";
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Scalar types
+// ---------------------------------------------------------------------------
+
+const char* to_string(ValType t) {
+  switch (t) {
+    case ValType::kUnknown: return "unknown";
+    case ValType::kBool: return "bool";
+    case ValType::kInt32: return "int32";
+    case ValType::kUInt32: return "uint32";
+    case ValType::kInt64: return "int64";
+    case ValType::kUInt64: return "uint64";
+    case ValType::kFloat: return "float";
+  }
+  return "?";
+}
+
+bool is_integer(ValType t) {
+  return t == ValType::kInt32 || t == ValType::kUInt32 ||
+         t == ValType::kInt64 || t == ValType::kUInt64;
+}
+
+bool is_unsigned(ValType t) {
+  return t == ValType::kUInt32 || t == ValType::kUInt64;
+}
+
+int bit_width(ValType t) {
+  switch (t) {
+    case ValType::kInt32:
+    case ValType::kUInt32: return 32;
+    case ValType::kInt64:
+    case ValType::kUInt64: return 64;
+    default: return 0;
+  }
+}
+
+ValType parse_val_type(const std::vector<std::string>& type_toks) {
+  bool saw_unsigned = false, saw_long = false, saw_longlong = false,
+       saw_int = false, saw_short = false, saw_char = false;
+  for (std::size_t i = 0; i < type_toks.size(); ++i) {
+    const std::string& t = type_toks[i];
+    if (t == "unsigned") saw_unsigned = true;
+    else if (t == "long") (saw_long ? saw_longlong : saw_long) = true;
+    else if (t == "int") saw_int = true;
+    else if (t == "short") saw_short = true;
+    else if (t == "char") saw_char = true;
+    else if (t == "double" || t == "float") return ValType::kFloat;
+    else if (t == "bool") return ValType::kBool;
+    // Fixed-width / repo-specific aliases (with or without std::).
+    else if (t == "int64_t" || t == "int64" || t == "ptrdiff_t" ||
+             t == "ssize_t" || t == "SimTime" || t == "JobId" ||
+             t == "intptr_t")
+      return ValType::kInt64;
+    else if (t == "uint64_t" || t == "uint64" || t == "size_t" ||
+             t == "uintptr_t")
+      return ValType::kUInt64;
+    else if (t == "int32_t" || t == "int32" || t == "int16_t" ||
+             t == "int8_t")
+      return ValType::kInt32;
+    else if (t == "uint32_t" || t == "uint32" || t == "uint16_t" ||
+             t == "uint8_t" || t == "Gid" || t == "TaskIndex")
+      return ValType::kUInt32;
+  }
+  if (saw_char || saw_short || saw_int || saw_long || saw_longlong ||
+      saw_unsigned) {
+    const bool w64 = saw_longlong || saw_long;
+    if (saw_unsigned) return w64 ? ValType::kUInt64 : ValType::kUInt32;
+    return w64 ? ValType::kInt64 : ValType::kInt32;
+  }
+  return ValType::kUnknown;
+}
+
+// ---------------------------------------------------------------------------
+// Expression parser
+// ---------------------------------------------------------------------------
+
+namespace {
+
+class ExprParser {
+ public:
+  ExprParser(const std::vector<std::string>& toks, int line)
+      : t_(toks), line_(line) {}
+
+  Expr parse_statement() {
+    if (t_.empty()) return opaque("");
+    if (t_[0] == "return") {
+      pos_ = 1;
+      Expr r = node(Expr::Kind::kReturn, "return");
+      if (pos_ < t_.size()) r.kids.push_back(parse_assign());
+      return r;
+    }
+    // Declaration attempt, with backtracking to an expression.
+    const std::size_t save = pos_;
+    Expr decl;
+    if (try_parse_decl(decl)) return decl;
+    pos_ = save;
+    fail_ = false;
+    Expr e = parse_assign();
+    if (fail_) return opaque(joined());
+    return e;
+  }
+
+ private:
+  Expr node(Expr::Kind k, std::string op = {}) {
+    Expr e;
+    e.kind = k;
+    e.op = std::move(op);
+    e.line = line_;
+    return e;
+  }
+  Expr opaque(std::string text) { return node(Expr::Kind::kOpaque, std::move(text)); }
+  std::string joined() const {
+    std::string out;
+    for (const std::string& t : t_) {
+      if (!out.empty()) out += ' ';
+      out += t;
+    }
+    return out;
+  }
+
+  bool done() const { return pos_ >= t_.size(); }
+  const std::string& peek(std::size_t ahead = 0) const {
+    static const std::string kEnd;
+    return pos_ + ahead < t_.size() ? t_[pos_ + ahead] : kEnd;
+  }
+  bool accept(const char* tok) {
+    if (peek() == tok) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+  void expect(const char* tok) {
+    if (!accept(tok)) fail_ = true;
+  }
+
+  // ---- declarations -------------------------------------------------------
+
+  /// Consumes a balanced template argument group starting at '<'.
+  /// Returns false (position restored) when no balanced group closes
+  /// before a statement boundary.
+  bool try_consume_template_args(std::vector<std::string>* into) {
+    const std::size_t save = pos_;
+    if (!accept("<")) return false;
+    int depth = 1;
+    std::vector<std::string> collected{"<"};
+    while (!done() && depth > 0) {
+      const std::string& tok = peek();
+      if (tok == ";") break;
+      if (tok == "<") ++depth;
+      else if (tok == ">") --depth;
+      else if (tok == ">>") depth -= 2;
+      collected.push_back(tok);
+      ++pos_;
+    }
+    if (depth > 0) {
+      pos_ = save;
+      return false;
+    }
+    if (into != nullptr)
+      into->insert(into->end(), collected.begin(), collected.end());
+    return true;
+  }
+
+  /// type = qualifiers (builtin+ | ident-chain [<...>]) [*&]* — fills
+  /// `type_toks` and returns true when the shape matches.
+  bool try_parse_type(std::vector<std::string>& type_toks) {
+    while (is_type_qualifier(peek())) {
+      type_toks.push_back(peek());
+      ++pos_;
+    }
+    if (is_builtin_type_tok(peek())) {
+      while (is_builtin_type_tok(peek())) {
+        type_toks.push_back(peek());
+        ++pos_;
+      }
+    } else if (is_ident_tok(peek()) && !is_keyword(peek())) {
+      type_toks.push_back(peek());
+      ++pos_;
+      while (peek() == "::" && is_ident_tok(peek(1))) {
+        type_toks.push_back("::");
+        type_toks.push_back(peek(1));
+        pos_ += 2;
+      }
+      if (peek() == "<") {
+        if (!try_consume_template_args(&type_toks)) return false;
+      }
+    } else {
+      return false;
+    }
+    while (peek() == "*" || peek() == "&" || peek() == "&&" ||
+           peek() == "const") {
+      type_toks.push_back(peek());
+      ++pos_;
+    }
+    return true;
+  }
+
+  bool try_parse_decl(Expr& out) {
+    std::vector<std::string> type_toks;
+    if (!try_parse_type(type_toks)) return false;
+    if (!is_ident_tok(peek()) || is_keyword(peek())) return false;
+    const std::string name = peek();
+    ++pos_;
+    const std::string& next = peek();
+    if (!(done() || next == "=" || next == "(" || next == "{" || next == ","))
+      return false;
+    out = node(Expr::Kind::kDecl, name);
+    out.decl_type = parse_val_type(type_toks);
+    parse_declarator_init(out);
+    while (accept(",")) {
+      if (!is_ident_tok(peek())) break;
+      Expr sib = node(Expr::Kind::kDecl, peek());
+      sib.decl_type = out.decl_type;
+      ++pos_;
+      parse_declarator_init(sib);
+      out.kids.push_back(std::move(sib));
+      if (fail_) break;
+    }
+    return !fail_;
+  }
+
+  void parse_declarator_init(Expr& decl) {
+    if (accept("=")) {
+      decl.kids.push_back(parse_assign());
+    } else if (peek() == "(" || peek() == "{") {
+      const std::string close = peek() == "(" ? ")" : "}";
+      ++pos_;
+      if (peek() != close) {
+        decl.kids.push_back(parse_assign());
+        while (accept(",")) decl.kids.push_back(parse_assign());
+      }
+      expect(close.c_str());
+    }
+  }
+
+  // ---- expressions --------------------------------------------------------
+
+  static bool is_assign_op(const std::string& t) {
+    return t == "=" || t == "+=" || t == "-=" || t == "*=" || t == "/=" ||
+           t == "%=" || t == "&=" || t == "|=" || t == "^=" || t == "<<=" ||
+           t == ">>=";
+  }
+
+  Expr parse_assign() {
+    if (++depth_ > 64) {
+      fail_ = true;
+      --depth_;
+      return opaque("");
+    }
+    Expr lhs = parse_ternary();
+    if (!fail_ && is_assign_op(peek())) {
+      Expr a = node(Expr::Kind::kAssign, peek());
+      ++pos_;
+      a.kids.push_back(std::move(lhs));
+      a.kids.push_back(parse_assign());
+      --depth_;
+      return a;
+    }
+    --depth_;
+    return lhs;
+  }
+
+  Expr parse_ternary() {
+    Expr c = parse_binary(0);
+    if (accept("?")) {
+      Expr t = node(Expr::Kind::kTernary, "?:");
+      t.kids.push_back(std::move(c));
+      t.kids.push_back(parse_assign());
+      expect(":");
+      t.kids.push_back(parse_ternary());
+      return t;
+    }
+    return c;
+  }
+
+  /// Precedence-climbing over binary operators, loosest first.
+  static int binary_level(const std::string& op) {
+    if (op == "||") return 0;
+    if (op == "&&") return 1;
+    if (op == "|") return 2;
+    if (op == "^") return 3;
+    if (op == "&") return 4;
+    if (op == "==" || op == "!=") return 5;
+    if (op == "<" || op == "<=" || op == ">" || op == ">=") return 6;
+    if (op == "<<" || op == ">>") return 7;
+    if (op == "+" || op == "-") return 8;
+    if (op == "*" || op == "/" || op == "%") return 9;
+    return -1;
+  }
+  static constexpr int kMaxLevel = 9;
+
+  Expr parse_binary(int level) {
+    if (level > kMaxLevel) return parse_unary();
+    Expr lhs = parse_binary(level + 1);
+    while (!fail_) {
+      const std::string& op = peek();
+      if (binary_level(op) != level) break;
+      // `<` that opens a template argument list of a call is handled in
+      // parse_postfix; reaching here it is a comparison.
+      ++pos_;
+      Expr b = node(Expr::Kind::kBinary, op);
+      b.kids.push_back(std::move(lhs));
+      b.kids.push_back(parse_binary(level + 1));
+      lhs = std::move(b);
+    }
+    return lhs;
+  }
+
+  Expr parse_unary() {
+    const std::string& tok = peek();
+    if (tok == "!" || tok == "-" || tok == "+" || tok == "~" || tok == "*" ||
+        tok == "&" || tok == "++" || tok == "--") {
+      ++pos_;
+      Expr u = node(Expr::Kind::kUnary, tok);
+      u.kids.push_back(parse_unary());
+      return u;
+    }
+    return parse_postfix();
+  }
+
+  Expr parse_postfix() {
+    Expr e = parse_primary();
+    while (!fail_) {
+      const std::string& tok = peek();
+      if ((tok == "." || tok == "->") && is_ident_tok(peek(1))) {
+        const std::string member = peek(1);
+        pos_ += 2;
+        if (e.kind == Expr::Kind::kVar) {
+          e.op += "." + member;
+        } else {
+          Expr v = node(Expr::Kind::kVar, "<expr>." + member);
+          v.kids.push_back(std::move(e));
+          e = std::move(v);
+        }
+      } else if (tok == "(") {
+        ++pos_;
+        Expr call = node(Expr::Kind::kCall,
+                         e.kind == Expr::Kind::kVar ? e.op : std::string());
+        if (peek() != ")") {
+          call.kids.push_back(parse_assign());
+          while (accept(",")) call.kids.push_back(parse_assign());
+        }
+        expect(")");
+        e = std::move(call);
+      } else if (tok == "[") {
+        ++pos_;
+        Expr idx = node(Expr::Kind::kIndex, "[]");
+        idx.kids.push_back(std::move(e));
+        idx.kids.push_back(parse_assign());
+        expect("]");
+        e = std::move(idx);
+      } else if (tok == "++" || tok == "--") {
+        ++pos_;
+        Expr u = node(Expr::Kind::kUnary, "post" + tok);
+        u.kids.push_back(std::move(e));
+        e = std::move(u);
+      } else if (tok == "<" && e.kind == Expr::Kind::kVar &&
+                 template_call_ahead()) {
+        try_consume_template_args(nullptr);  // explicit template args
+      } else {
+        break;
+      }
+    }
+    return e;
+  }
+
+  /// True when `<` at the current position closes with `>` followed by
+  /// `(` — an explicit-template-argument call, not a comparison.
+  bool template_call_ahead() const {
+    int depth = 0;
+    for (std::size_t i = pos_; i < t_.size(); ++i) {
+      const std::string& tok = t_[i];
+      if (tok == "<") ++depth;
+      else if (tok == ">") {
+        if (--depth == 0) return i + 1 < t_.size() && t_[i + 1] == "(";
+      } else if (tok == ">>") {
+        depth -= 2;
+        if (depth <= 0) return i + 1 < t_.size() && t_[i + 1] == "(";
+      } else if (tok == ";" || tok == ")" || is_assign_op(tok)) {
+        return false;
+      }
+    }
+    return false;
+  }
+
+  Expr parse_number(const std::string& text) {
+    Expr e = node(Expr::Kind::kNum, text);
+    std::string body;
+    for (const char c : text)
+      if (c != '\'') body += c;
+    const bool hex = body.size() > 1 && (body[1] == 'x' || body[1] == 'X');
+    std::string suffix;
+    while (!body.empty()) {
+      const char c = body.back();
+      if (c == 'u' || c == 'U' || c == 'l' || c == 'L' ||
+          (!hex && (c == 'f' || c == 'F'))) {
+        suffix += c;
+        body.pop_back();
+      } else {
+        break;
+      }
+    }
+    e.num = hex ? static_cast<double>(std::strtoull(body.c_str(), nullptr, 16))
+                : std::strtod(body.c_str(), nullptr);
+    e.float_lit =
+        !hex && (body.find('.') != std::string::npos ||
+                 body.find('e') != std::string::npos ||
+                 body.find('E') != std::string::npos ||
+                 suffix.find('f') != std::string::npos ||
+                 suffix.find('F') != std::string::npos);
+    return e;
+  }
+
+  Expr parse_primary() {
+    const std::string& tok = peek();
+    if (tok.empty()) {
+      fail_ = true;
+      return opaque("");
+    }
+    if (is_number_tok(tok)) {
+      ++pos_;
+      return parse_number(tok);
+    }
+    if (tok == "\"\"" || tok == "''") {
+      ++pos_;
+      return node(Expr::Kind::kStr, tok);
+    }
+    if (tok == "true" || tok == "false") {
+      ++pos_;
+      Expr e = node(Expr::Kind::kNum, tok);
+      e.num = tok == "true" ? 1.0 : 0.0;
+      return e;
+    }
+    if (tok == "nullptr") {
+      ++pos_;
+      Expr e = node(Expr::Kind::kNum, tok);
+      e.num = 0.0;
+      return e;
+    }
+    if (tok == "static_cast" || tok == "const_cast" ||
+        tok == "reinterpret_cast" || tok == "dynamic_cast") {
+      ++pos_;
+      std::vector<std::string> type_toks;
+      expect("<");
+      int depth = 1;
+      while (!done() && depth > 0) {
+        const std::string& t = peek();
+        if (t == "<") ++depth;
+        else if (t == ">") --depth;
+        else if (t == ">>") depth -= 2;
+        if (depth > 0) type_toks.push_back(t);
+        ++pos_;
+      }
+      Expr c = node(Expr::Kind::kCast, "cast");
+      c.decl_type = parse_val_type(type_toks);
+      expect("(");
+      c.kids.push_back(parse_assign());
+      expect(")");
+      return c;
+    }
+    if (tok == "(") {
+      // C-style cast of a recognized scalar type; otherwise grouping.
+      std::size_t i = pos_ + 1;
+      int depth = 1;
+      std::vector<std::string> inner;
+      while (i < t_.size() && depth > 0) {
+        if (t_[i] == "(") ++depth;
+        else if (t_[i] == ")") --depth;
+        if (depth > 0) inner.push_back(t_[i]);
+        ++i;
+      }
+      const bool next_starts_expr =
+          i < t_.size() &&
+          (is_ident_tok(t_[i]) || is_number_tok(t_[i]) || t_[i] == "(" ||
+           t_[i] == "-" || t_[i] == "&" || t_[i] == "*");
+      if (depth == 0 && !inner.empty() && next_starts_expr &&
+          parse_val_type(inner) != ValType::kUnknown) {
+        bool all_type_words = true;
+        for (const std::string& t : inner)
+          all_type_words = all_type_words &&
+                           (is_ident_tok(t) || t == "::" || t == "*" ||
+                            t == "&" || t == "<" || t == ">" ||
+                            is_type_qualifier(t));
+        if (all_type_words) {
+          pos_ = i;
+          Expr c = node(Expr::Kind::kCast, "cast");
+          c.decl_type = parse_val_type(inner);
+          c.kids.push_back(parse_unary());
+          return c;
+        }
+      }
+      ++pos_;
+      Expr e = parse_assign();
+      while (accept(",")) parse_assign();  // comma operator: keep last? first
+      expect(")");
+      return e;
+    }
+    if (tok == "[") {
+      // Lambda expression: consume the capture list, parameters and the
+      // body as an opaque value (its statements are not modeled here).
+      std::size_t i = pos_;
+      int sq = 0, par = 0, br = 0;
+      for (; i < t_.size(); ++i) {
+        const std::string& t = t_[i];
+        if (t == "[") ++sq;
+        else if (t == "]") --sq;
+        else if (t == "(") ++par;
+        else if (t == ")") --par;
+        else if (t == "{") ++br;
+        else if (t == "}") {
+          --br;
+          if (sq == 0 && par == 0 && br == 0) break;
+        }
+        if (sq == 0 && t == ";") break;
+      }
+      pos_ = i < t_.size() ? i + 1 : t_.size();
+      return node(Expr::Kind::kOpaque, "lambda");
+    }
+    if (is_ident_tok(tok)) {
+      std::string name = tok;
+      ++pos_;
+      while (peek() == "::" && is_ident_tok(peek(1))) {
+        name += "::" + peek(1);
+        pos_ += 2;
+      }
+      return node(Expr::Kind::kVar, name);
+    }
+    fail_ = true;
+    return opaque(tok);
+  }
+
+  const std::vector<std::string>& t_;
+  std::size_t pos_ = 0;
+  int line_ = 0;
+  int depth_ = 0;
+  bool fail_ = false;
+};
+
+}  // namespace
+
+Expr parse_stmt_expr(const std::string& text, int line) {
+  const std::vector<std::string> toks = split_tokens(text);
+  ExprParser parser(toks, line);
+  return parser.parse_statement();
+}
+
+void visit_exprs(const Expr& e, const std::function<void(const Expr&)>& fn) {
+  fn(e);
+  for (const Expr& k : e.kids) visit_exprs(k, fn);
+}
+
+const Expr& StmtCache::parsed(const CfgStmt& s) {
+  auto it = by_ptr_.find(&s);
+  if (it == by_ptr_.end())
+    it = by_ptr_.emplace(&s, parse_stmt_expr(s.text, s.line)).first;
+  return it->second;
+}
+
+const Expr& StmtCache::parsed_cond(const CfgEdge& e) {
+  auto it = by_ptr_.find(&e);
+  if (it == by_ptr_.end())
+    it = by_ptr_.emplace(&e, parse_stmt_expr(e.cond, 0)).first;
+  return it->second;
+}
+
+// ---------------------------------------------------------------------------
+// Type environment
+// ---------------------------------------------------------------------------
+
+ValType TypeEnv::type_of(const std::string& name) const {
+  const auto it = vars.find(name);
+  return it == vars.end() ? ValType::kUnknown : it->second;
+}
+
+TypeEnv collect_types(const Cfg& cfg, StmtCache& cache) {
+  TypeEnv env;
+  for (const BasicBlock& b : cfg.blocks) {
+    for (const CfgStmt& s : b.stmts) {
+      visit_exprs(cache.parsed(s), [&](const Expr& e) {
+        if (e.kind == Expr::Kind::kDecl && e.decl_type != ValType::kUnknown)
+          env.vars[e.op] = e.decl_type;
+      });
+    }
+  }
+  return env;
+}
+
+namespace {
+
+ValType combine_types(ValType a, ValType b) {
+  if (a == ValType::kFloat || b == ValType::kFloat) return ValType::kFloat;
+  if (a == ValType::kBool) a = ValType::kInt32;
+  if (b == ValType::kBool) b = ValType::kInt32;
+  if (a == ValType::kUnknown || b == ValType::kUnknown)
+    return ValType::kUnknown;
+  const int wa = bit_width(a), wb = bit_width(b);
+  if (wa == wb) {
+    if (is_unsigned(a) || is_unsigned(b))
+      return wa == 64 ? ValType::kUInt64 : ValType::kUInt32;
+    return a;
+  }
+  return wa > wb ? a : b;
+}
+
+ValType literal_type(const Expr& e) {
+  if (e.float_lit) return ValType::kFloat;
+  std::string suffix;
+  for (const char c : e.op)
+    if (c == 'u' || c == 'U' || c == 'l' || c == 'L') suffix += c;
+  const bool uns = suffix.find('u') != std::string::npos ||
+                   suffix.find('U') != std::string::npos;
+  const bool wide = suffix.find('l') != std::string::npos ||
+                    suffix.find('L') != std::string::npos ||
+                    e.num > 2147483647.0;
+  if (uns) return wide ? ValType::kUInt64 : ValType::kUInt32;
+  return wide ? ValType::kInt64 : ValType::kInt32;
+}
+
+std::string simple_callee(const std::string& op) {
+  std::size_t p = op.rfind('.');
+  std::string s = p == std::string::npos ? op : op.substr(p + 1);
+  p = s.rfind("::");
+  if (p != std::string::npos) s = s.substr(p + 2);
+  return s;
+}
+
+}  // namespace
+
+ValType static_type(const Expr& e, const TypeEnv& env) {
+  switch (e.kind) {
+    case Expr::Kind::kNum: return literal_type(e);
+    case Expr::Kind::kStr: return ValType::kUnknown;
+    case Expr::Kind::kVar: return env.type_of(e.op);
+    case Expr::Kind::kCast: return e.decl_type;
+    case Expr::Kind::kDecl: return e.decl_type;
+    case Expr::Kind::kUnary:
+      if (e.op == "!") return ValType::kBool;
+      return e.kids.empty() ? ValType::kUnknown
+                            : static_type(e.kids[0], env);
+    case Expr::Kind::kBinary: {
+      const int lvl = e.op == "<" || e.op == "<=" || e.op == ">" ||
+                              e.op == ">=" || e.op == "==" || e.op == "!=" ||
+                              e.op == "&&" || e.op == "||"
+                          ? 1
+                          : 0;
+      if (lvl) return ValType::kBool;
+      if (e.kids.size() != 2) return ValType::kUnknown;
+      return combine_types(static_type(e.kids[0], env),
+                           static_type(e.kids[1], env));
+    }
+    case Expr::Kind::kTernary:
+      if (e.kids.size() != 3) return ValType::kUnknown;
+      return combine_types(static_type(e.kids[1], env),
+                           static_type(e.kids[2], env));
+    case Expr::Kind::kCall: {
+      const std::string s = simple_callee(e.op);
+      if (s == "size" || s == "length" || s == "capacity")
+        return ValType::kUInt64;
+      if (s == "empty") return ValType::kBool;
+      if (s == "to_seconds") return ValType::kFloat;
+      if (s == "from_seconds") return ValType::kInt64;
+      if ((s == "max" || s == "min" || s == "clamp" || s == "abs") &&
+          !e.kids.empty())
+        return static_type(e.kids[0], env);
+      return ValType::kUnknown;
+    }
+    case Expr::Kind::kAssign:
+      return e.kids.empty() ? ValType::kUnknown
+                            : static_type(e.kids[0], env);
+    default: return ValType::kUnknown;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Interval domain
+// ---------------------------------------------------------------------------
+
+Interval Interval::top() { return {-kInf, kInf, false, false}; }
+
+Interval Interval::exact(double v) { return {v, v, v == 0.0, true}; }
+
+bool Interval::is_top() const { return lo == -kInf && hi == kInf; }
+
+Interval join(const Interval& a, const Interval& b) {
+  return {std::min(a.lo, b.lo), std::max(a.hi, b.hi),
+          a.zero_witness || b.zero_witness, a.refined && b.refined};
+}
+
+namespace {
+
+double mulc(double x, double y) {
+  if (x == 0.0 || y == 0.0) return 0.0;
+  return x * y;
+}
+
+Interval itv_mul(const Interval& a, const Interval& b) {
+  const double c[4] = {mulc(a.lo, b.lo), mulc(a.lo, b.hi), mulc(a.hi, b.lo),
+                       mulc(a.hi, b.hi)};
+  Interval r{std::min({c[0], c[1], c[2], c[3]}),
+             std::max({c[0], c[1], c[2], c[3]}),
+             false, a.refined && b.refined};
+  r.zero_witness = (a.zero_witness || b.zero_witness) && r.contains(0.0);
+  return r;
+}
+
+double divc(double x, double y) {
+  if (y == kInf || y == -kInf) return 0.0;
+  if (y == 0.0) return x >= 0 ? kInf : -kInf;
+  return x / y;
+}
+
+Interval itv_div(const Interval& a, const Interval& b) {
+  if (b.lo > 0.0 || b.hi < 0.0) {
+    const double c[4] = {divc(a.lo, b.lo), divc(a.lo, b.hi),
+                         divc(a.hi, b.lo), divc(a.hi, b.hi)};
+    Interval r{std::min({c[0], c[1], c[2], c[3]}),
+               std::max({c[0], c[1], c[2], c[3]}),
+               false, a.refined && b.refined};
+    r.zero_witness = a.zero_witness && r.contains(0.0);
+    return r;
+  }
+  Interval r = Interval::top();
+  r.zero_witness = a.zero_witness;
+  return r;
+}
+
+}  // namespace
+
+IntervalDomain::State IntervalDomain::boundary() const {
+  State s;
+  s.reachable = true;
+  return s;
+}
+
+Interval IntervalDomain::default_interval(const std::string& name) const {
+  const ValType t = types_ ? types_->type_of(name) : ValType::kUnknown;
+  if (t == ValType::kBool) return {0.0, 1.0, false, false};
+  if (is_unsigned(t)) return {0.0, kInf, false, false};
+  return Interval::top();
+}
+
+bool IntervalDomain::join_into(State& dst, const State& src) const {
+  if (!src.reachable) return false;
+  if (!dst.reachable) {
+    dst = src;
+    return true;
+  }
+  bool changed = false;
+  for (auto& [name, itv] : dst.vars) {
+    const auto it = src.vars.find(name);
+    const Interval other =
+        it == src.vars.end() ? default_interval(name) : it->second;
+    const Interval j = join(itv, other);
+    if (!(j == itv)) {
+      itv = j;
+      changed = true;
+    }
+  }
+  for (const auto& [name, itv] : src.vars) {
+    if (dst.vars.count(name)) continue;
+    const Interval j = join(default_interval(name), itv);
+    if (!(j == default_interval(name))) {
+      dst.vars.emplace(name, j);
+      changed = true;
+    }
+  }
+  return changed;
+}
+
+void IntervalDomain::widen(State& s, const State& prev) const {
+  if (!prev.reachable) return;
+  for (auto& [name, itv] : s.vars) {
+    const auto it = prev.vars.find(name);
+    if (it == prev.vars.end()) continue;
+    const Interval limit = default_interval(name);
+    if (itv.lo < it->second.lo) itv.lo = limit.lo > itv.lo ? itv.lo : limit.lo;
+    if (itv.hi > it->second.hi) itv.hi = limit.hi < itv.hi ? itv.hi : limit.hi;
+  }
+}
+
+Interval IntervalDomain::eval(const Expr& e, const State& st) const {
+  switch (e.kind) {
+    case Expr::Kind::kNum: return Interval::exact(e.num);
+    case Expr::Kind::kStr: return Interval::top();
+    case Expr::Kind::kVar: {
+      const auto it = st.vars.find(e.op);
+      if (it != st.vars.end()) return it->second;
+      return default_interval(e.op);
+    }
+    case Expr::Kind::kUnary: {
+      if (e.kids.empty()) return Interval::top();
+      const Interval a = eval(e.kids[0], st);
+      if (e.op == "-") {
+        Interval r{-a.hi, -a.lo, a.zero_witness, a.refined};
+        return r;
+      }
+      if (e.op == "!") {
+        if (a.lo > 0.0 || a.hi < 0.0) return Interval::exact(0.0);
+        if (a.lo == 0.0 && a.hi == 0.0) return Interval::exact(1.0);
+        return {0.0, 1.0, false, true};
+      }
+      if (e.op == "++" || e.op == "--" || e.op == "post++" ||
+          e.op == "post--")
+        return a;
+      return Interval::top();
+    }
+    case Expr::Kind::kBinary: {
+      if (e.kids.size() != 2) return Interval::top();
+      const Interval a = eval(e.kids[0], st);
+      // Short-circuit forms evaluate to a truth value.
+      if (e.op == "&&" || e.op == "||") return {0.0, 1.0, false, true};
+      const Interval b = eval(e.kids[1], st);
+      if (e.op == "+") {
+        Interval r{a.lo + b.lo, a.hi + b.hi, false, a.refined && b.refined};
+        r.zero_witness = (a.zero_witness || b.zero_witness) && r.contains(0.0);
+        return r;
+      }
+      if (e.op == "-") {
+        Interval r{a.lo - b.hi, a.hi - b.lo, false, a.refined && b.refined};
+        r.zero_witness = (a.zero_witness || b.zero_witness) && r.contains(0.0);
+        return r;
+      }
+      if (e.op == "*") return itv_mul(a, b);
+      if (e.op == "/") return itv_div(a, b);
+      if (e.op == "%") {
+        if (b.lo > 0.0 && b.hi < kInf) {
+          const double m = b.hi - 1.0;
+          return {a.lo >= 0.0 ? 0.0 : -m, m, false, a.refined && b.refined};
+        }
+        return Interval::top();
+      }
+      if (e.op == "<<") {
+        if (a.lo == a.hi && b.lo == b.hi && b.lo >= 0.0 && b.lo < 63.0)
+          return Interval::exact(a.lo * std::ldexp(1.0, static_cast<int>(b.lo)));
+        if (a.lo >= 0.0 && b.lo >= 0.0) return {0.0, kInf, false, false};
+        return Interval::top();
+      }
+      if (e.op == ">>") {
+        if (a.lo >= 0.0) return {0.0, a.hi, false, a.refined};
+        return Interval::top();
+      }
+      if (e.op == "==" || e.op == "!=" || e.op == "<" || e.op == "<=" ||
+          e.op == ">" || e.op == ">=") {
+        // Definitive when the ranges are disjoint / ordered.
+        if (e.op == "<" && a.hi < b.lo) return Interval::exact(1.0);
+        if (e.op == "<" && a.lo >= b.hi) return Interval::exact(0.0);
+        if (e.op == ">" && a.lo > b.hi) return Interval::exact(1.0);
+        if (e.op == ">" && a.hi <= b.lo) return Interval::exact(0.0);
+        if (e.op == "<=" && a.hi <= b.lo) return Interval::exact(1.0);
+        if (e.op == ">=" && a.lo >= b.hi) return Interval::exact(1.0);
+        return {0.0, 1.0, false, true};
+      }
+      if (e.op == "&") {
+        if (a.lo >= 0.0 && b.lo >= 0.0)
+          return {0.0, std::min(a.hi, b.hi), false, a.refined && b.refined};
+        return Interval::top();
+      }
+      if (e.op == "|" || e.op == "^") {
+        if (a.lo >= 0.0 && b.lo >= 0.0) return {0.0, kInf, false, false};
+        return Interval::top();
+      }
+      return Interval::top();
+    }
+    case Expr::Kind::kTernary: {
+      if (e.kids.size() != 3) return Interval::top();
+      const Interval c = eval(e.kids[0], st);
+      State st_t = st;
+      refine(e.kids[0], true, st_t);
+      State st_f = st;
+      refine(e.kids[0], false, st_f);
+      if (c.lo > 0.0 || c.hi < 0.0) return eval(e.kids[1], st_t);
+      if (c.lo == 0.0 && c.hi == 0.0) return eval(e.kids[2], st_f);
+      return join(eval(e.kids[1], st_t), eval(e.kids[2], st_f));
+    }
+    case Expr::Kind::kCall: {
+      const std::string s = simple_callee(e.op);
+      if ((s == "max" || s == "min") && e.kids.size() >= 2) {
+        Interval r = eval(e.kids[0], st);
+        for (std::size_t i = 1; i < e.kids.size(); ++i) {
+          const Interval b = eval(e.kids[i], st);
+          if (s == "max") {
+            const bool zw = (r.zero_witness && b.lo <= 0.0) ||
+                            (b.zero_witness && r.lo <= 0.0);
+            r = {std::max(r.lo, b.lo), std::max(r.hi, b.hi), zw,
+                 r.refined || b.refined};
+          } else {
+            const bool zw = (r.zero_witness && b.hi >= 0.0) ||
+                            (b.zero_witness && r.hi >= 0.0);
+            r = {std::min(r.lo, b.lo), std::min(r.hi, b.hi), zw,
+                 r.refined || b.refined};
+          }
+        }
+        if (!r.contains(0.0)) r.zero_witness = false;
+        return r;
+      }
+      if (s == "clamp" && e.kids.size() == 3) {
+        const Interval v = eval(e.kids[0], st);
+        const Interval lo = eval(e.kids[1], st);
+        const Interval hi = eval(e.kids[2], st);
+        Interval r{std::max(lo.lo, std::min(v.lo, hi.hi)),
+                   std::min(hi.hi, std::max(v.hi, lo.lo)),
+                   false, lo.refined && hi.refined};
+        r.zero_witness = v.zero_witness && r.contains(0.0);
+        return r;
+      }
+      if ((s == "abs" || s == "fabs" || s == "labs" || s == "llabs") &&
+          e.kids.size() == 1) {
+        const Interval a = eval(e.kids[0], st);
+        Interval r = a;
+        if (a.hi <= 0.0) r = {-a.hi, -a.lo, a.zero_witness, a.refined};
+        else if (a.lo < 0.0)
+          r = {0.0, std::max(-a.lo, a.hi), a.zero_witness, a.refined};
+        return r;
+      }
+      if (s == "to_seconds" && e.kids.size() == 1)
+        return itv_mul(eval(e.kids[0], st), Interval::exact(1e-6));
+      if (s == "from_seconds" && e.kids.size() == 1)
+        return itv_mul(eval(e.kids[0], st), Interval::exact(1e6));
+      if (s == "size" || s == "length" || s == "capacity")
+        return {0.0, kInf, false, false};
+      if (s == "empty") return {0.0, 1.0, false, false};
+      if (oracle_ != nullptr) return oracle_->call_interval(e.op);
+      return Interval::top();
+    }
+    case Expr::Kind::kCast: {
+      if (e.kids.empty()) return Interval::top();
+      const Interval v = eval(e.kids[0], st);
+      const int w = bit_width(e.decl_type);
+      if (w == 0) return v;
+      const double tmin = is_unsigned(e.decl_type)
+                              ? 0.0
+                              : -std::ldexp(1.0, w - 1);
+      const double tmax = is_unsigned(e.decl_type)
+                              ? std::ldexp(1.0, w) - 1.0
+                              : std::ldexp(1.0, w - 1) - 1.0;
+      if (v.lo >= tmin && v.hi <= tmax) return v;
+      return {tmin, tmax, false, false};
+    }
+    case Expr::Kind::kAssign:
+      return e.kids.size() == 2 ? eval(e.kids[1], st) : Interval::top();
+    case Expr::Kind::kIndex: return Interval::top();
+    default: return Interval::top();
+  }
+}
+
+void IntervalDomain::transfer(const Expr& e, State& st) const {
+  if (!st.reachable) return;
+  switch (e.kind) {
+    case Expr::Kind::kDecl: {
+      std::size_t init_args = 0;
+      for (const Expr& k : e.kids) {
+        if (k.kind == Expr::Kind::kDecl) break;
+        ++init_args;
+      }
+      Interval v = default_interval(e.op);
+      if (init_args == 1) v = eval(e.kids[0], st);
+      else if (init_args > 1) v = Interval::top();
+      st.vars[e.op] = v;
+      for (std::size_t i = init_args; i < e.kids.size(); ++i)
+        transfer(e.kids[i], st);
+      return;
+    }
+    case Expr::Kind::kAssign: {
+      if (e.kids.size() != 2) return;
+      transfer(e.kids[1], st);  // nested assignments in the RHS
+      const Expr& lhs = e.kids[0];
+      if (lhs.kind != Expr::Kind::kVar) return;
+      Interval v;
+      if (e.op == "=") {
+        v = eval(e.kids[1], st);
+      } else {
+        // Compound assignment: x op= rhs  ==  x = x op rhs.
+        Expr bin;
+        bin.kind = Expr::Kind::kBinary;
+        bin.op = e.op.substr(0, e.op.size() - 1);
+        bin.kids.push_back(lhs);
+        bin.kids.push_back(e.kids[1]);
+        v = eval(bin, st);
+      }
+      st.vars[lhs.op] = v;
+      return;
+    }
+    case Expr::Kind::kUnary: {
+      if ((e.op == "++" || e.op == "--" || e.op == "post++" ||
+           e.op == "post--") &&
+          e.kids.size() == 1 && e.kids[0].kind == Expr::Kind::kVar) {
+        const Interval one = Interval::exact(1.0);
+        const Interval cur = eval(e.kids[0], st);
+        const bool inc = e.op.find("++") != std::string::npos;
+        Interval v{inc ? cur.lo + 1.0 : cur.lo - 1.0,
+                   inc ? cur.hi + 1.0 : cur.hi - 1.0, false, cur.refined};
+        v.zero_witness = cur.zero_witness && v.contains(0.0);
+        (void)one;
+        st.vars[e.kids[0].op] = v;
+      }
+      return;
+    }
+    case Expr::Kind::kCall: {
+      for (const Expr& arg : e.kids) {
+        transfer(arg, st);
+        // An argument passed by address may be rewritten by the callee.
+        if (arg.kind == Expr::Kind::kUnary && arg.op == "&" &&
+            arg.kids.size() == 1 && arg.kids[0].kind == Expr::Kind::kVar)
+          st.vars.erase(arg.kids[0].op);
+      }
+      return;
+    }
+    case Expr::Kind::kReturn:
+    case Expr::Kind::kCast:
+    case Expr::Kind::kIndex:
+      for (const Expr& k : e.kids) transfer(k, st);
+      return;
+    case Expr::Kind::kBinary:
+      // Only the left side of short-circuit forms surely evaluates.
+      if (!e.kids.empty()) transfer(e.kids[0], st);
+      if ((e.op != "&&" && e.op != "||") && e.kids.size() == 2)
+        transfer(e.kids[1], st);
+      return;
+    default: return;
+  }
+}
+
+void IntervalDomain::transfer_stmt(const CfgStmt& s, State& st) const {
+  if (!st.reachable || cache_ == nullptr) return;
+  transfer(cache_->parsed(s), st);
+}
+
+namespace {
+
+const char* negate_op(const std::string& op) {
+  if (op == "<") return ">=";
+  if (op == "<=") return ">";
+  if (op == ">") return "<=";
+  if (op == ">=") return "<";
+  if (op == "==") return "!=";
+  if (op == "!=") return "==";
+  return "";
+}
+
+bool is_relational(const std::string& op) {
+  return op == "<" || op == "<=" || op == ">" || op == ">=" || op == "==" ||
+         op == "!=";
+}
+
+}  // namespace
+
+void IntervalDomain::refine(const Expr& cond, bool taken, State& st) const {
+  if (!st.reachable) return;
+  switch (cond.kind) {
+    case Expr::Kind::kUnary:
+      if (cond.op == "!" && cond.kids.size() == 1)
+        refine(cond.kids[0], !taken, st);
+      return;
+    case Expr::Kind::kBinary: {
+      if (cond.op == "&&") {
+        if (taken && cond.kids.size() == 2) {
+          refine(cond.kids[0], true, st);
+          refine(cond.kids[1], true, st);
+        }
+        return;
+      }
+      if (cond.op == "||") {
+        if (!taken && cond.kids.size() == 2) {
+          refine(cond.kids[0], false, st);
+          refine(cond.kids[1], false, st);
+        }
+        return;
+      }
+      if (!is_relational(cond.op) || cond.kids.size() != 2) return;
+      const std::string op = taken ? cond.op : negate_op(cond.op);
+      const Expr& l = cond.kids[0];
+      const Expr& r = cond.kids[1];
+      const Interval lv = eval(l, st);
+      const Interval rv = eval(r, st);
+      const auto apply = [&](const Expr& side, const Interval& self,
+                             const std::string& o, const Interval& bound) {
+        if (side.kind != Expr::Kind::kVar) return;
+        const bool is_int = is_integer(
+            types_ ? types_->type_of(side.op) : ValType::kUnknown);
+        Interval v = self;
+        if (o == "<") {
+          v.hi = std::min(v.hi, is_int ? bound.hi - 1.0 : bound.hi);
+          if (bound.hi <= 0.0) v.zero_witness = false;
+        } else if (o == "<=") {
+          v.hi = std::min(v.hi, bound.hi);
+        } else if (o == ">") {
+          v.lo = std::max(v.lo, is_int ? bound.lo + 1.0 : bound.lo);
+          if (bound.lo >= 0.0) v.zero_witness = false;
+        } else if (o == ">=") {
+          v.lo = std::max(v.lo, bound.lo);
+        } else if (o == "==") {
+          v.lo = std::max(v.lo, bound.lo);
+          v.hi = std::min(v.hi, bound.hi);
+          v.zero_witness = bound.zero_witness || v.zero_witness;
+          if (!v.contains(0.0)) v.zero_witness = false;
+        } else if (o == "!=") {
+          if (bound.lo == 0.0 && bound.hi == 0.0) {
+            v.zero_witness = false;
+            if (is_int && v.lo == 0.0) v.lo = 1.0;
+          }
+        }
+        // Refinement is knowledge only when the bound itself carries
+        // knowledge — clamping against a vacuous full-type-range bound
+        // (e.g. a non-fitting cast's result) must not mark `v` refined.
+        if (bound.refined) v.refined = true;
+        if (!v.contains(0.0)) v.zero_witness = false;
+        if (v.lo > v.hi) {
+          st.reachable = false;
+          return;
+        }
+        st.vars[side.op] = v;
+      };
+      apply(l, lv, op, rv);
+      // Mirror the comparison for the right side.
+      std::string mirrored = op;
+      if (op == "<") mirrored = ">";
+      else if (op == "<=") mirrored = ">=";
+      else if (op == ">") mirrored = "<";
+      else if (op == ">=") mirrored = "<=";
+      if (st.reachable) apply(r, rv, mirrored, lv);
+      return;
+    }
+    case Expr::Kind::kVar: {
+      const Interval v = eval(cond, st);
+      Interval n = v;
+      if (taken) {
+        n.zero_witness = false;
+        const bool is_int = is_integer(
+            types_ ? types_->type_of(cond.op) : ValType::kUnknown);
+        if (is_int && n.lo == 0.0) n.lo = 1.0;
+        if (n.lo == 0.0 && n.hi == 0.0) st.reachable = false;
+      } else {
+        if (!v.contains(0.0)) {
+          st.reachable = false;
+          return;
+        }
+        n = Interval::exact(0.0);
+        n.refined = true;
+      }
+      st.vars[cond.op] = n;
+      return;
+    }
+    default: return;
+  }
+}
+
+void IntervalDomain::transfer_edge(const CfgEdge& e, State& st) const {
+  if (!st.reachable || cache_ == nullptr || e.cond.empty()) return;
+  if (e.kind == EdgeKind::kFall) return;
+  const Expr& cond = cache_->parsed_cond(e);
+  refine(cond, e.kind != EdgeKind::kFalse, st);
+}
+
+// ---------------------------------------------------------------------------
+// Taint domain
+// ---------------------------------------------------------------------------
+
+Taint join(const Taint& a, const Taint& b) {
+  if (a.tainted) return a;
+  return b;
+}
+
+TaintDomain::State TaintDomain::boundary() const {
+  State s;
+  s.reachable = true;
+  return s;
+}
+
+bool TaintDomain::join_into(State& dst, const State& src) const {
+  if (!src.reachable) return false;
+  if (!dst.reachable) {
+    dst = src;
+    return true;
+  }
+  bool changed = false;
+  for (const auto& [name, t] : src.vars) {
+    if (!t.tainted) continue;
+    auto it = dst.vars.find(name);
+    if (it == dst.vars.end()) {
+      dst.vars.emplace(name, t);
+      changed = true;
+    } else if (!it->second.tainted) {
+      it->second = t;
+      changed = true;
+    }
+  }
+  return changed;
+}
+
+namespace {
+
+/// Taint source table: call simple-name -> taint kind.
+const char* taint_source_kind(const std::string& simple) {
+  if (simple == "env_int" || simple == "env_double") return "env";
+  if (simple == "getenv" || simple == "env_string") return "env-str";
+  static const char* parse_fns[] = {
+      "stoi",  "stol",    "stoll",   "stoul",  "stoull", "stod",
+      "stof",  "atoi",    "atol",    "atof",   "strtol", "strtoll",
+      "strtoul", "strtoull", "strtod", "strtof"};
+  for (const char* f : parse_fns)
+    if (simple == f) return "parse";
+  return nullptr;
+}
+
+bool taint_propagating_call(const std::string& simple) {
+  static const char* fns[] = {"abs",    "fabs",  "labs",  "llabs", "floor",
+                              "ceil",   "round", "lround", "trunc", "__range",
+                              "substr", "c_str", "str",    "at",    "front",
+                              "back",   "value", "value_or"};
+  for (const char* f : fns)
+    if (simple == f) return true;
+  return false;
+}
+
+}  // namespace
+
+Taint TaintDomain::eval(const Expr& e, const State& st) const {
+  switch (e.kind) {
+    case Expr::Kind::kVar: {
+      auto it = st.vars.find(e.op);
+      if (it != st.vars.end()) return it->second;
+      // Member chains fall back to the base object's taint.
+      const std::size_t dot = e.op.find('.');
+      if (dot != std::string::npos) {
+        it = st.vars.find(e.op.substr(0, dot));
+        if (it != st.vars.end()) return it->second;
+      }
+      return {};
+    }
+    case Expr::Kind::kUnary:
+    case Expr::Kind::kCast:
+    case Expr::Kind::kReturn:
+      return e.kids.empty() ? Taint{} : eval(e.kids[0], st);
+    case Expr::Kind::kBinary: {
+      Taint t;
+      for (const Expr& k : e.kids) t = join(t, eval(k, st));
+      return t;
+    }
+    case Expr::Kind::kTernary: {
+      if (e.kids.size() != 3) return {};
+      return join(eval(e.kids[1], st), eval(e.kids[2], st));
+    }
+    case Expr::Kind::kIndex:
+      return e.kids.empty() ? Taint{} : eval(e.kids[0], st);
+    case Expr::Kind::kAssign:
+      return e.kids.size() == 2 ? eval(e.kids[1], st) : Taint{};
+    case Expr::Kind::kCall: {
+      const std::string simple = simple_callee(e.op);
+      if (const char* kind = taint_source_kind(simple)) {
+        Taint t;
+        t.tainted = true;
+        t.kind = kind;
+        t.source = e.op + "(...)";
+        t.line = e.line;
+        return t;
+      }
+      if (simple == "env_int_min") return {};  // clamps internally
+      if (simple == "min" || simple == "max" || simple == "clamp") {
+        // A clean bound sanitizes: min(tainted, kCap) is bounded.
+        Taint t;
+        bool any_clean = false;
+        for (const Expr& k : e.kids) {
+          const Taint kt = eval(k, st);
+          if (!kt.tainted) any_clean = true;
+          t = join(t, kt);
+        }
+        return any_clean ? Taint{} : t;
+      }
+      if (taint_propagating_call(simple)) {
+        Taint t;
+        for (const Expr& k : e.kids) t = join(t, eval(k, st));
+        // Receiver taint flows through value-returning member calls.
+        const std::size_t dot = e.op.rfind('.');
+        if (dot != std::string::npos) {
+          Expr recv;
+          recv.kind = Expr::Kind::kVar;
+          recv.op = e.op.substr(0, dot);
+          t = join(t, eval(recv, st));
+        }
+        return t;
+      }
+      return {};
+    }
+    default: return {};
+  }
+}
+
+void TaintDomain::transfer(const Expr& e, State& st) const {
+  if (!st.reachable) return;
+  switch (e.kind) {
+    case Expr::Kind::kDecl: {
+      std::size_t init_args = 0;
+      for (const Expr& k : e.kids) {
+        if (k.kind == Expr::Kind::kDecl) break;
+        ++init_args;
+      }
+      Taint t;
+      for (std::size_t i = 0; i < init_args; ++i)
+        t = join(t, eval(e.kids[i], st));
+      if (t.tainted) st.vars[e.op] = t;
+      else st.vars.erase(e.op);
+      for (std::size_t i = init_args; i < e.kids.size(); ++i)
+        transfer(e.kids[i], st);
+      return;
+    }
+    case Expr::Kind::kAssign: {
+      if (e.kids.size() != 2) return;
+      transfer(e.kids[1], st);
+      const Expr& lhs = e.kids[0];
+      if (lhs.kind != Expr::Kind::kVar) return;
+      Taint t = eval(e.kids[1], st);
+      if (e.op != "=") t = join(t, eval(lhs, st));
+      if (t.tainted) st.vars[lhs.op] = t;
+      else st.vars.erase(lhs.op);
+      return;
+    }
+    case Expr::Kind::kCall: {
+      for (const Expr& arg : e.kids) {
+        transfer(arg, st);
+        if (arg.kind == Expr::Kind::kUnary && arg.op == "&" &&
+            arg.kids.size() == 1 && arg.kids[0].kind == Expr::Kind::kVar)
+          st.vars.erase(arg.kids[0].op);
+      }
+      return;
+    }
+    case Expr::Kind::kReturn:
+    case Expr::Kind::kCast:
+    case Expr::Kind::kIndex:
+      for (const Expr& k : e.kids) transfer(k, st);
+      return;
+    case Expr::Kind::kBinary:
+      if (!e.kids.empty()) transfer(e.kids[0], st);
+      if ((e.op != "&&" && e.op != "||") && e.kids.size() == 2)
+        transfer(e.kids[1], st);
+      return;
+    default: return;
+  }
+}
+
+void TaintDomain::transfer_stmt(const CfgStmt& s, State& st) const {
+  if (!st.reachable || cache_ == nullptr) return;
+  transfer(cache_->parsed(s), st);
+}
+
+void TaintDomain::sanitize_compared(const Expr& cond, State& st) const {
+  switch (cond.kind) {
+    case Expr::Kind::kUnary:
+      if (cond.op == "!" && !cond.kids.empty())
+        sanitize_compared(cond.kids[0], st);
+      return;
+    case Expr::Kind::kBinary: {
+      if (cond.op == "&&" || cond.op == "||") {
+        for (const Expr& k : cond.kids) sanitize_compared(k, st);
+        return;
+      }
+      if (!is_relational(cond.op)) return;
+      // A comparison is the codebase's validation idiom: a knob checked
+      // against a bound on either branch no longer flows unvalidated.
+      for (const Expr& k : cond.kids)
+        if (k.kind == Expr::Kind::kVar) st.vars.erase(k.op);
+      return;
+    }
+    default: return;
+  }
+}
+
+void TaintDomain::transfer_edge(const CfgEdge& e, State& st) const {
+  if (!st.reachable || cache_ == nullptr || e.cond.empty()) return;
+  if (e.kind == EdgeKind::kFall) return;
+  sanitize_compared(cache_->parsed_cond(e), st);
+}
+
+}  // namespace dsp::analysis

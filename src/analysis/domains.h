@@ -1,0 +1,228 @@
+// Abstract domains of the dsp-dataflow analysis (dsp_tidy --dataflow):
+// a statement-expression mini-AST parsed from the CFG's token text, a
+// loose scalar type environment, an interval (value-range) lattice with
+// widening and a taint lattice seeded at untrusted sources.
+//
+// Both domains plug into dataflow.h's generic solver; they share the
+// expression parser so each statement is parsed once (StmtCache) and
+// walked twice. The interval lattice carries two bits beyond the bounds:
+//
+//   zero_witness — some concrete program path assigns a hard zero (a
+//     `= 0` literal, a callee that can `return 0.0`, an `== 0` branch).
+//     The V000 division rule fires only on witnessed divisors, so a
+//     merely-unknown denominator (top interval) never floods the report.
+//   refined — the bounds come from program text (assignment, guard,
+//     literal) rather than a type default, which is what the V001
+//     underflow rule requires before claiming `a - b` can wrap.
+//
+// Taint tracks where a value entered (env var, parsed text) and is
+// cleared by the codebase's sanctioned clamps (std::min/max/clamp,
+// env_int_min, `%` by a clean bound) and by comparison guards on a
+// branch — validation-by-comparison is how this codebase bounds knobs.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "analysis/cfg.h"
+
+namespace dsp::analysis {
+
+// ---------------------------------------------------------------------------
+// Scalar types
+// ---------------------------------------------------------------------------
+
+enum class ValType : std::uint8_t {
+  kUnknown,
+  kBool,
+  kInt32,
+  kUInt32,
+  kInt64,
+  kUInt64,
+  kFloat,  ///< float or double
+};
+
+const char* to_string(ValType t);
+bool is_integer(ValType t);
+bool is_unsigned(ValType t);
+/// Bit width of integer types; 0 for kUnknown/kBool/kFloat.
+int bit_width(ValType t);
+
+/// Maps declaration type tokens ("std :: uint64_t", "unsigned long",
+/// "SimTime", "Gid", "double") to a ValType. Unrecognized -> kUnknown.
+ValType parse_val_type(const std::vector<std::string>& type_toks);
+
+// ---------------------------------------------------------------------------
+// Expression mini-AST
+// ---------------------------------------------------------------------------
+
+struct Expr {
+  enum class Kind : std::uint8_t {
+    kNum,      ///< literal; `num`, `float_lit`, text in `op`
+    kStr,      ///< blanked string/char literal
+    kVar,      ///< identifier chain ("i", "params_.omega1", "this")
+    kUnary,    ///< op in `op`, kids[0]
+    kBinary,   ///< op in `op`, kids[0..1]
+    kTernary,  ///< kids[0] ? kids[1] : kids[2]
+    kCall,     ///< callee chain in `op`, kids = args
+    kCast,     ///< target in decl_type, kids[0]
+    kIndex,    ///< kids[0] [ kids[1] ]
+    kAssign,   ///< op ("=", "+=", ...), kids[0] = lhs, kids[1] = rhs
+    kDecl,     ///< var in `op`, type in decl_type, kids = init args
+               ///< (trailing kDecl kids are extra declarators)
+    kReturn,   ///< kids[0] = value (may be absent)
+    kOpaque,   ///< unparsed; raw text in `op`
+  };
+  Kind kind = Kind::kOpaque;
+  std::string op;
+  double num = 0.0;
+  bool float_lit = false;
+  ValType decl_type = ValType::kUnknown;
+  std::vector<Expr> kids;
+  int line = 0;
+};
+
+/// Parses one CFG statement (space-joined token text, as produced by
+/// cfg_tokenize/build_cfg) into an Expr tree. Unparseable statements
+/// come back kOpaque.
+Expr parse_stmt_expr(const std::string& text, int line);
+
+/// Pre-order walk of `e` and all children.
+void visit_exprs(const Expr& e, const std::function<void(const Expr&)>& fn);
+
+/// Parse-once cache keyed by statement identity (CfgStmt address; the
+/// Cfg must outlive the cache).
+class StmtCache {
+ public:
+  const Expr& parsed(const CfgStmt& s);
+  const Expr& parsed_cond(const CfgEdge& e);
+
+ private:
+  std::map<const void*, Expr> by_ptr_;
+};
+
+// ---------------------------------------------------------------------------
+// Type environment
+// ---------------------------------------------------------------------------
+
+struct TypeEnv {
+  std::map<std::string, ValType> vars;
+  ValType type_of(const std::string& name) const;
+};
+
+/// Collects declared local-variable types over every statement of `cfg`
+/// (flow-insensitive; this codebase does not reuse names across scopes
+/// with different scalar types).
+TypeEnv collect_types(const Cfg& cfg, StmtCache& cache);
+
+/// Loose static type of `e` under `env`: literals (with suffixes),
+/// declared vars, casts, usual-arithmetic-conversion-ish combining for
+/// binaries, and a few known calls (.size() -> kUInt64, to_seconds ->
+/// kFloat, from_seconds -> kInt64). kUnknown otherwise.
+ValType static_type(const Expr& e, const TypeEnv& env);
+
+// ---------------------------------------------------------------------------
+// Interval domain
+// ---------------------------------------------------------------------------
+
+struct Interval {
+  double lo = 0.0;
+  double hi = 0.0;
+  bool zero_witness = false;
+  bool refined = false;
+
+  static Interval top();
+  static Interval exact(double v);
+  bool is_top() const;
+  bool contains(double v) const { return lo <= v && v <= hi; }
+  bool operator==(const Interval& o) const = default;
+};
+
+Interval join(const Interval& a, const Interval& b);
+
+struct IntervalState {
+  bool reachable = false;
+  std::map<std::string, Interval> vars;
+};
+
+/// Interprocedural hook: the return-value interval of a call. The
+/// valueflow analyzer implements this with memoized per-function
+/// return summaries; a null oracle means every unknown call is top.
+class IntervalOracle {
+ public:
+  virtual ~IntervalOracle() = default;
+  virtual Interval call_interval(const std::string& callee) = 0;
+};
+
+class IntervalDomain {
+ public:
+  IntervalDomain(const TypeEnv* types, StmtCache* cache,
+                 IntervalOracle* oracle = nullptr)
+      : types_(types), cache_(cache), oracle_(oracle) {}
+
+  using State = IntervalState;
+  State bottom() const { return {}; }
+  State boundary() const;
+  bool join_into(State& dst, const State& src) const;
+  void widen(State& s, const State& prev) const;
+  void transfer_stmt(const CfgStmt& s, State& st) const;
+  void transfer(const Expr& e, State& st) const;
+  void transfer_edge(const CfgEdge& e, State& st) const;
+
+  /// Evaluates `e` in `st` (state unchanged).
+  Interval eval(const Expr& e, const State& st) const;
+  /// Refines `st` assuming `cond` evaluated to `taken`.
+  void refine(const Expr& cond, bool taken, State& st) const;
+  /// Type default for a variable never assigned on this path.
+  Interval default_interval(const std::string& name) const;
+
+ private:
+  const TypeEnv* types_;
+  StmtCache* cache_;
+  IntervalOracle* oracle_;
+};
+
+// ---------------------------------------------------------------------------
+// Taint domain
+// ---------------------------------------------------------------------------
+
+struct Taint {
+  bool tainted = false;
+  std::string kind;    ///< "env" (env_int/env_double), "env-str", "parse"
+  std::string source;  ///< Source call text, for the finding message.
+  int line = 0;
+  bool operator==(const Taint& o) const = default;
+};
+
+Taint join(const Taint& a, const Taint& b);
+
+struct TaintState {
+  bool reachable = false;
+  std::map<std::string, Taint> vars;
+};
+
+class TaintDomain {
+ public:
+  explicit TaintDomain(StmtCache* cache) : cache_(cache) {}
+
+  using State = TaintState;
+  State bottom() const { return {}; }
+  State boundary() const;
+  bool join_into(State& dst, const State& src) const;
+  void widen(State&, const State&) const {}  // finite lattice
+  void transfer_stmt(const CfgStmt& s, State& st) const;
+  void transfer(const Expr& e, State& st) const;
+  void transfer_edge(const CfgEdge& e, State& st) const;
+
+  Taint eval(const Expr& e, const State& st) const;
+
+ private:
+  void sanitize_compared(const Expr& cond, State& st) const;
+
+  StmtCache* cache_;
+};
+
+}  // namespace dsp::analysis

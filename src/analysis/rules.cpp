@@ -137,6 +137,50 @@ constexpr RuleInfo kCatalog[] = {
      "a function annotated DSP_REQUIRES(mu) is called on a path that does "
      "not hold mu",
      "-"},
+    // ---- Value-range dataflow analysis (dsp_tidy --dataflow) -----------
+    {"V000", "div-by-witnessed-zero", Severity::kError,
+     "divisor's interval carries a zero witness — some concrete path "
+     "(a `= 0` literal, a callee returning 0.0, an `== 0` branch) reaches "
+     "this division with a hard zero",
+     "§IV Formula 13 (1/t_rem leaf priority)"},
+    {"V001", "unsigned-sub-wrap", Severity::kError,
+     "unsigned subtraction a - b where the analyzed ranges admit a < b; "
+     "the result wraps to a huge value instead of going negative",
+     "§III t^a = t^d - t^rem deadline chain"},
+    {"V002", "narrowing-cast-overflow", Severity::kError,
+     "cast to a narrower integer type whose analyzed range exceeds the "
+     "target's representable range",
+     "-"},
+    {"V003", "float-equality", Severity::kError,
+     "== or != on floating-point operands; rounding makes the comparison "
+     "unstable — compare against an epsilon or restructure",
+     "-"},
+    {"V004", "shift-out-of-range", Severity::kError,
+     "shift amount's analyzed range reaches or exceeds the width of the "
+     "shifted operand's type (undefined behavior)",
+     "-"},
+    {"V005", "loop-counter-narrow", Severity::kError,
+     "32-bit loop counter compared against a 64-bit bound whose analyzed "
+     "range exceeds INT32_MAX; the loop may never terminate",
+     "-"},
+    // ---- Taint dataflow analysis (dsp_tidy --dataflow) -----------------
+    {"T000", "tainted-index", Severity::kError,
+     "array/vector subscript derives from an untrusted source (env var, "
+     "workload CSV field, parsed text) with no clamp or comparison guard "
+     "on the path",
+     "-"},
+    {"T001", "tainted-loop-bound", Severity::kError,
+     "loop bound derives from an untrusted source with no validation; a "
+     "hostile config makes the loop run unbounded",
+     "-"},
+    {"T002", "tainted-alloc-size", Severity::kError,
+     "allocation/resize size derives from an untrusted source with no "
+     "validation; a hostile config triggers an OOM",
+     "-"},
+    {"T003", "env-unvalidated", Severity::kError,
+     "numeric env knob (env_int/env_double) used without any clamp or "
+     "comparison guard between read and use",
+     "-"},
 };
 
 }  // namespace

@@ -135,7 +135,8 @@ const std::regex& index_guard_re() {
 // Scanner
 // ---------------------------------------------------------------------------
 
-void scan_source(std::string_view path, std::string_view text, Report& report) {
+void scan_source_lines(std::string_view path, const std::vector<Line>& lines,
+                       Report& report) {
   const std::string npath = normalize_path(path);
   const bool hot = in_hot_scope(npath);
   // C001 path scoping: util/log's line emitter and obs/events' JSONL sink
@@ -144,7 +145,6 @@ void scan_source(std::string_view path, std::string_view text, Report& report) {
   // interleave. Everywhere else, I/O under a lock is a latency bug.
   const bool c001_exempt =
       path_has(npath, "util/log.") || path_has(npath, "obs/events.");
-  const std::vector<Line> lines = lex_lines(text);
 
   int depth = 0;                 // brace nesting across the file
   std::vector<int> lock_depths;  // depth at which each active RAII lock lives
@@ -204,6 +204,11 @@ void scan_source(std::string_view path, std::string_view text, Report& report) {
                        "...`); release the lock or buffer first");
     }
   }
+}
+
+void scan_source(std::string_view path, std::string_view text,
+                 Report& report) {
+  scan_source_lines(path, lex_lines(text), report);
 }
 
 bool scan_source_file(const std::string& path, Report& report,

@@ -23,6 +23,7 @@
 #include <string_view>
 #include <vector>
 
+#include "analysis/cpp_lex.h"
 #include "analysis/diagnostics.h"
 
 namespace dsp::analysis {
@@ -35,6 +36,11 @@ namespace dsp::analysis {
 /// util/log and obs/events for the single-fwrite-under-own-mutex emit
 /// paths C001 otherwise forbids).
 void scan_source(std::string_view path, std::string_view text, Report& report);
+
+/// Same scan over pre-lexed lines (shared SourceCache — lex once, scan
+/// in every mode).
+void scan_source_lines(std::string_view path, const std::vector<Line>& lines,
+                       Report& report);
 
 /// Reads `path` from disk and scans it. Returns false (and sets `error`
 /// when non-null) if the file cannot be read; the report is unchanged.

@@ -1,0 +1,539 @@
+#include "analysis/valueflow.h"
+
+#include <fstream>
+#include <limits>
+#include <memory>
+#include <set>
+#include <sstream>
+
+#include "analysis/cfg.h"
+#include "analysis/dataflow.h"
+#include "analysis/domains.h"
+
+namespace dsp::analysis {
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+constexpr double kInt32Max = 2147483647.0;
+
+// A function body larger than this is skipped: the token stream is no
+// longer cheap to fixpoint and this codebase has no such functions.
+constexpr std::size_t kMaxTokens = 6000;
+constexpr std::size_t kMaxBlocks = 400;
+
+std::string simple_name(const std::string& op) {
+  std::size_t p = op.rfind('.');
+  std::string s = p == std::string::npos ? op : op.substr(p + 1);
+  p = s.rfind("::");
+  if (p != std::string::npos) s = s.substr(p + 2);
+  return s;
+}
+
+bool is_relational_op(const std::string& op) {
+  return op == "<" || op == "<=" || op == ">" || op == ">=" || op == "==" ||
+         op == "!=";
+}
+
+/// Compact re-rendering of an Expr for finding messages.
+std::string expr_text(const Expr& e) {
+  switch (e.kind) {
+    case Expr::Kind::kNum:
+    case Expr::Kind::kStr:
+    case Expr::Kind::kVar:
+    case Expr::Kind::kOpaque: return e.op;
+    case Expr::Kind::kUnary:
+      if (e.kids.empty()) return e.op;
+      if (e.op.rfind("post", 0) == 0)
+        return expr_text(e.kids[0]) + e.op.substr(4);
+      return e.op + expr_text(e.kids[0]);
+    case Expr::Kind::kBinary:
+      if (e.kids.size() != 2) return e.op;
+      return expr_text(e.kids[0]) + " " + e.op + " " + expr_text(e.kids[1]);
+    case Expr::Kind::kTernary:
+      if (e.kids.size() != 3) return "?:";
+      return expr_text(e.kids[0]) + " ? " + expr_text(e.kids[1]) + " : " +
+             expr_text(e.kids[2]);
+    case Expr::Kind::kCall: return e.op + "(...)";
+    case Expr::Kind::kCast:
+      return std::string("(") + to_string(e.decl_type) + ")" +
+             (e.kids.empty() ? "" : expr_text(e.kids[0]));
+    case Expr::Kind::kIndex:
+      if (e.kids.size() != 2) return "[]";
+      return expr_text(e.kids[0]) + "[" + expr_text(e.kids[1]) + "]";
+    case Expr::Kind::kAssign:
+      if (e.kids.size() != 2) return e.op;
+      return expr_text(e.kids[0]) + " " + e.op + " " + expr_text(e.kids[1]);
+    case Expr::Kind::kDecl: return e.op;
+    case Expr::Kind::kReturn:
+      return e.kids.empty() ? "return" : "return " + expr_text(e.kids[0]);
+  }
+  return "";
+}
+
+std::string range_text(const Interval& v) {
+  std::ostringstream out;
+  const auto bound = [&](double b) {
+    if (b == kInf) out << "+inf";
+    else if (b == -kInf) out << "-inf";
+    else out << b;
+  };
+  out << "[";
+  bound(v.lo);
+  out << ", ";
+  bound(v.hi);
+  out << "]";
+  return out.str();
+}
+
+/// Container growth calls whose size argument a hostile config must not
+/// control (T002).
+bool is_alloc_call(const std::string& simple) {
+  return simple == "resize" || simple == "reserve" || simple == "assign" ||
+         simple == "make_unique" || simple == "make_shared";
+}
+
+/// V003 scope: float equality matters where it decides scheduling and
+/// preemption (the determinism the engine promises), not in the LP /
+/// analysis utility code whose exact-zero sparsity checks are idiomatic.
+/// Out-of-tree fixture paths count as hot, same as srclint's D003/C003.
+bool v003_scope(const std::string& path) {
+  return path_has(path, "src/core") || path_has(path, "src/sim") ||
+         path_has(path, "src/dag") || !path_has(path, "src");
+}
+
+class ValueflowAnalyzer : public IntervalOracle {
+ public:
+  ValueflowAnalyzer(CppIndex& index,
+                    const std::map<std::string, std::vector<Line>>& lines,
+                    Report& report)
+      : index_(index), lines_(lines), report_(report) {}
+
+  void run() {
+    for (std::size_t i = 0; i < index_.functions.size(); ++i)
+      analyze_fn(static_cast<int>(i));
+  }
+
+  Interval call_interval(const std::string& callee) override {
+    const std::string simple = simple_name(callee);
+    const auto mit = oracle_memo_.find(simple);
+    if (mit != oracle_memo_.end()) return mit->second;
+    if (oracle_depth_ >= 3 || oracle_active_.count(simple))
+      return Interval::top();
+    const auto bit = index_.by_name.find(simple);
+    if (bit == index_.by_name.end() || bit->second.empty() ||
+        bit->second.size() > 3)
+      return Interval::top();
+
+    oracle_active_.insert(simple);
+    ++oracle_depth_;
+    Interval summary;
+    bool any = false;
+    for (const int idx : bit->second) {
+      FnCtx* fx = ctx_for(idx);
+      if (fx == nullptr || fx->oversized) {
+        any = false;
+        break;
+      }
+      IntervalDomain dom(&fx->types, &fx->cache, this);
+      IntervalState boundary = dom.boundary();
+      bool fn_any = false;
+      Interval fn_itv;
+      for (const BasicBlock& b : fx->cfg.blocks) {
+        for (const CfgStmt& s : b.stmts) {
+          const Expr& e = fx->cache.parsed(s);
+          if (e.kind != Expr::Kind::kReturn || e.kids.empty()) continue;
+          const Interval r = dom.eval(e.kids[0], boundary);
+          fn_itv = fn_any ? join(fn_itv, r) : r;
+          fn_any = true;
+        }
+      }
+      if (!fn_any) {
+        any = false;
+        break;
+      }
+      summary = any ? join(summary, fn_itv) : fn_itv;
+      any = true;
+    }
+    --oracle_depth_;
+    oracle_active_.erase(simple);
+    const Interval result = any ? summary : Interval::top();
+    oracle_memo_.emplace(simple, result);
+    return result;
+  }
+
+ private:
+  struct FnCtx {
+    Cfg cfg;
+    StmtCache cache;
+    TypeEnv types;
+    bool oversized = false;
+  };
+
+  /// Builds (and caches) the CFG + parse cache + type environment of one
+  /// indexed function. Null when its file's lines are unavailable.
+  FnCtx* ctx_for(int fn_idx) {
+    const auto it = ctx_.find(fn_idx);
+    if (it != ctx_.end()) return it->second.get();
+    const FunctionInfo& fn = index_.functions[static_cast<std::size_t>(fn_idx)];
+    const auto lit = lines_.find(fn.file);
+    if (lit == lines_.end()) {
+      ctx_.emplace(fn_idx, nullptr);
+      return nullptr;
+    }
+    auto fx = std::make_unique<FnCtx>();
+    const std::vector<CfgTok> toks =
+        cfg_tokenize(lit->second, fn.begin_line, fn.end_line);
+    if (toks.size() > kMaxTokens) {
+      fx->oversized = true;
+    } else {
+      fx->cfg = build_cfg(fn, lit->second);
+      if (fx->cfg.blocks.size() > kMaxBlocks) fx->oversized = true;
+      else fx->types = collect_types(fx->cfg, fx->cache);
+    }
+    FnCtx* raw = fx.get();
+    ctx_.emplace(fn_idx, std::move(fx));
+    return raw;
+  }
+
+  void emit(const char* rule, const FunctionInfo& fn, int line,
+            const std::string& detail, std::string message) {
+    if (index_.allowed_at(fn.file, line, rule)) return;
+    const std::string subject = fn.file + ":" + std::to_string(line);
+    if (!emitted_.insert(std::string(rule) + "|" + subject + "|" + detail)
+             .second)
+      return;
+    report_.add(rule, subject, std::move(message));
+  }
+
+  // ---- per-statement rule walk -------------------------------------------
+
+  struct WalkCtx {
+    const FunctionInfo* fn = nullptr;
+    FnCtx* fx = nullptr;
+    const IntervalDomain* idom = nullptr;
+    const TaintDomain* tdom = nullptr;
+    /// Vars already reported by T000/T001/T002 in this function — T003
+    /// is the catch-all and must not double-report them.
+    std::set<std::string>* sink_reported = nullptr;
+  };
+
+  void report_taint(const char* rule, const WalkCtx& w, int line,
+                    const Expr& use, const Taint& t,
+                    const std::string& what) {
+    std::ostringstream msg;
+    msg << "`" << expr_text(use) << "` " << what << " derives from "
+        << (t.kind == "parse" ? "parsed text" : "an environment variable")
+        << " (" << t.source;
+    if (t.line > 0) msg << " at line " << t.line;
+    msg << ") with no clamp or comparison guard on this path";
+    emit(rule, *w.fn, line, expr_text(use), msg.str());
+    if (w.sink_reported != nullptr)
+      visit_exprs(use, [&](const Expr& k) {
+        if (k.kind == Expr::Kind::kVar) w.sink_reported->insert(k.op);
+      });
+  }
+
+  void check_expr(const Expr& e, const IntervalState& ist,
+                  const TaintState& tst, const WalkCtx& w, bool in_compare,
+                  int stmt_line) {
+    const int line = e.line > 0 ? e.line : stmt_line;
+    switch (e.kind) {
+      case Expr::Kind::kDecl: {
+        for (const Expr& k : e.kids)
+          check_expr(k, ist, tst, w, false, stmt_line);
+        return;
+      }
+      case Expr::Kind::kAssign: {
+        if (e.kids.size() != 2) return;
+        // The LHS itself is written, not read; its subscripts are read.
+        if (e.kids[0].kind == Expr::Kind::kIndex)
+          check_expr(e.kids[0], ist, tst, w, false, stmt_line);
+        check_expr(e.kids[1], ist, tst, w, false, stmt_line);
+        return;
+      }
+      case Expr::Kind::kReturn:
+        for (const Expr& k : e.kids)
+          check_expr(k, ist, tst, w, false, stmt_line);
+        return;
+      case Expr::Kind::kCast: {
+        if (e.kids.empty()) return;
+        check_expr(e.kids[0], ist, tst, w, in_compare, stmt_line);
+        const int width = bit_width(e.decl_type);
+        if (width == 32) {
+          const Interval v = w.idom->eval(e.kids[0], ist);
+          const double tmin = is_unsigned(e.decl_type) ? 0.0 : -2147483648.0;
+          const double tmax = is_unsigned(e.decl_type) ? 4294967295.0
+                                                       : kInt32Max;
+          // A violated bound at a 64-bit type extreme (the residue of a
+          // widened counter re-clamped by a vacuous full-range bound) is
+          // an artifact, not evidence; real count/time evidence in this
+          // codebase is orders of magnitude below 2^63.
+          constexpr double kVacuous = 9.2e18;
+          const bool hi_bad = v.hi > tmax && v.hi < kVacuous;
+          const bool lo_bad = v.lo < tmin && v.lo > -kVacuous;
+          if (v.refined && (hi_bad || lo_bad))
+            emit("V002", *w.fn, line, expr_text(e),
+                 "cast of `" + expr_text(e.kids[0]) + "` (range " +
+                     range_text(v) + ") to " + to_string(e.decl_type) +
+                     " cannot represent the analyzed range");
+        }
+        return;
+      }
+      case Expr::Kind::kUnary:
+        if (e.op == "&") return;  // address-of: a write target, not a read
+        for (const Expr& k : e.kids)
+          check_expr(k, ist, tst, w, in_compare, stmt_line);
+        return;
+      case Expr::Kind::kTernary: {
+        if (e.kids.size() != 3) return;
+        check_expr(e.kids[0], ist, tst, w, in_compare, stmt_line);
+        IntervalState ist_t = ist;
+        w.idom->refine(e.kids[0], true, ist_t);
+        IntervalState ist_f = ist;
+        w.idom->refine(e.kids[0], false, ist_f);
+        if (ist_t.reachable)
+          check_expr(e.kids[1], ist_t, tst, w, in_compare, stmt_line);
+        if (ist_f.reachable)
+          check_expr(e.kids[2], ist_f, tst, w, in_compare, stmt_line);
+        return;
+      }
+      case Expr::Kind::kBinary: {
+        if (e.kids.size() != 2) return;
+        if (e.op == "&&" || e.op == "||") {
+          check_expr(e.kids[0], ist, tst, w, true, stmt_line);
+          IntervalState ist2 = ist;
+          w.idom->refine(e.kids[0], e.op == "&&", ist2);
+          if (ist2.reachable)
+            check_expr(e.kids[1], ist2, tst, w, true, stmt_line);
+          return;
+        }
+        if (is_relational_op(e.op)) {
+          if ((e.op == "==" || e.op == "!=") && v003_scope(w.fn->file) &&
+              e.kids[0].kind != Expr::Kind::kNum &&
+              e.kids[1].kind != Expr::Kind::kNum) {
+            // Comparison against a literal (exact sentinel / default) is
+            // the sanctioned exact-float idiom; two computed floats are
+            // not.
+            const ValType lt = static_type(e.kids[0], w.fx->types);
+            const ValType rt = static_type(e.kids[1], w.fx->types);
+            if (lt == ValType::kFloat || rt == ValType::kFloat)
+              emit("V003", *w.fn, line, expr_text(e),
+                   "floating-point `" + e.op + "` on `" + expr_text(e) +
+                       "`; rounding makes exact comparison unstable");
+          }
+          check_expr(e.kids[0], ist, tst, w, true, stmt_line);
+          check_expr(e.kids[1], ist, tst, w, true, stmt_line);
+          return;
+        }
+        check_expr(e.kids[0], ist, tst, w, in_compare, stmt_line);
+        check_expr(e.kids[1], ist, tst, w, in_compare, stmt_line);
+        if (e.op == "/" || e.op == "%") {
+          const Interval d = w.idom->eval(e.kids[1], ist);
+          if (d.zero_witness && d.contains(0.0))
+            emit("V000", *w.fn, line, expr_text(e),
+                 "divisor `" + expr_text(e.kids[1]) + "` (range " +
+                     range_text(d) +
+                     ") carries a zero witness: a concrete path reaches "
+                     "this division with a hard zero");
+        } else if (e.op == "-") {
+          const ValType t = static_type(e, w.fx->types);
+          if (is_unsigned(t)) {
+            const Interval a = w.idom->eval(e.kids[0], ist);
+            const Interval b = w.idom->eval(e.kids[1], ist);
+            if (a.refined && b.refined && a.lo > -kInf && b.hi < kInf &&
+                a.lo < b.hi)
+              emit("V001", *w.fn, line, expr_text(e),
+                   "unsigned `" + expr_text(e) + "` with ranges " +
+                       range_text(a) + " - " + range_text(b) +
+                       " can wrap: the right side may exceed the left");
+          }
+        } else if (e.op == "<<" || e.op == ">>") {
+          ValType lt = static_type(e.kids[0], w.fx->types);
+          const int width = bit_width(lt) > 0 ? bit_width(lt) : 0;
+          if (width > 0) {
+            const Interval s = w.idom->eval(e.kids[1], ist);
+            const bool neg = s.lo < 0.0 && s.lo > -kInf;
+            const bool wide = s.hi >= width && s.hi < kInf;
+            if (neg || wide)
+              emit("V004", *w.fn, line, expr_text(e),
+                   "shift amount `" + expr_text(e.kids[1]) + "` (range " +
+                       range_text(s) + ") " +
+                       (neg ? "can be negative"
+                            : "reaches the width of the shifted type") +
+                       " (" + std::to_string(width) + " bits)");
+          }
+        }
+        return;
+      }
+      case Expr::Kind::kIndex: {
+        if (e.kids.size() != 2) return;
+        check_expr(e.kids[0], ist, tst, w, in_compare, stmt_line);
+        check_expr(e.kids[1], ist, tst, w, false, stmt_line);
+        const Taint t = w.tdom->eval(e.kids[1], tst);
+        if (t.tainted)
+          report_taint("T000", w, line, e.kids[1], t, "used as a subscript");
+        return;
+      }
+      case Expr::Kind::kCall: {
+        const std::string simple = simple_name(e.op);
+        const bool sanitizing = simple == "min" || simple == "max" ||
+                                simple == "clamp" || simple == "env_int_min";
+        for (const Expr& k : e.kids)
+          check_expr(k, ist, tst, w, in_compare || sanitizing, stmt_line);
+        if (is_alloc_call(simple) && !e.kids.empty()) {
+          const Taint t = w.tdom->eval(e.kids[0], tst);
+          if (t.tainted)
+            report_taint("T002", w, line, e.kids[0], t,
+                         "used as an allocation size in `" + simple + "`");
+        }
+        return;
+      }
+      case Expr::Kind::kVar: {
+        if (in_compare) return;
+        const Taint t = w.tdom->eval(e, tst);
+        if (t.tainted && t.kind == "env" &&
+            w.sink_reported->count(e.op) == 0 &&
+            t003_done_.insert(w.fn->qual + "|" + e.op + "|" + t.source)
+                .second)
+          emit("T003", *w.fn, line, e.op,
+               "env knob `" + e.op + "` (" + t.source +
+                   ") used without any clamp or comparison guard between "
+                   "read and use");
+        return;
+      }
+      default: return;
+    }
+  }
+
+  /// Loop-bound rules (V005/T001) on a loop edge's condition.
+  void check_loop_cond(const Expr& cond, const IntervalState& ist,
+                       const TaintState& tst, const WalkCtx& w,
+                       int head_line) {
+    if (cond.kind == Expr::Kind::kUnary && cond.op == "!" &&
+        !cond.kids.empty()) {
+      check_loop_cond(cond.kids[0], ist, tst, w, head_line);
+      return;
+    }
+    if (cond.kind != Expr::Kind::kBinary) return;
+    if (cond.op == "&&" || cond.op == "||") {
+      for (const Expr& k : cond.kids)
+        check_loop_cond(k, ist, tst, w, head_line);
+      return;
+    }
+    if (!is_relational_op(cond.op) || cond.kids.size() != 2) return;
+    for (int side = 0; side < 2; ++side) {
+      const Expr& counter = cond.kids[static_cast<std::size_t>(side)];
+      const Expr& bound = cond.kids[static_cast<std::size_t>(1 - side)];
+      // T001: a tainted bound makes the trip count hostile-controlled.
+      const Taint t = w.tdom->eval(bound, tst);
+      if (t.tainted)
+        report_taint("T001", w, head_line, bound, t, "used as a loop bound");
+      // V005: 32-bit counter, 64-bit bound that provably exceeds it.
+      if (counter.kind != Expr::Kind::kVar) continue;
+      const ValType ct = static_type(counter, w.fx->types);
+      const ValType bt = static_type(bound, w.fx->types);
+      if (ct != ValType::kInt32 || !is_integer(bt) || bit_width(bt) != 64)
+        continue;
+      const Interval bv = w.idom->eval(bound, ist);
+      if (bv.hi > kInt32Max && bv.hi < kInf)
+        emit("V005", *w.fn, head_line, expr_text(cond),
+             "32-bit loop counter `" + counter.op +
+                 "` bounded by 64-bit `" + expr_text(bound) + "` (range " +
+                 range_text(bv) + ") exceeding INT32_MAX");
+    }
+  }
+
+  void analyze_fn(int fn_idx) {
+    const FunctionInfo& fn = index_.functions[static_cast<std::size_t>(fn_idx)];
+    FnCtx* fx = ctx_for(fn_idx);
+    if (fx == nullptr || fx->oversized) return;
+    bool has_stmts = false;
+    for (const BasicBlock& blk : fx->cfg.blocks)
+      has_stmts = has_stmts || !blk.stmts.empty();
+    if (!has_stmts) return;
+
+    IntervalDomain idom(&fx->types, &fx->cache, this);
+    TaintDomain tdom(&fx->cache);
+    const DataflowResult<IntervalDomain> ires =
+        solve_forward(fx->cfg, idom);
+    const DataflowResult<TaintDomain> tres = solve_forward(fx->cfg, tdom);
+
+    std::set<std::string> sink_reported;
+    WalkCtx w;
+    w.fn = &fn;
+    w.fx = fx;
+    w.idom = &idom;
+    w.tdom = &tdom;
+    w.sink_reported = &sink_reported;
+
+    for (std::size_t b = 0; b < fx->cfg.blocks.size(); ++b) {
+      IntervalState ist = ires.in[b];
+      TaintState tst = tres.in[b];
+      if (!ist.reachable || !tst.reachable) continue;
+      const BasicBlock& blk = fx->cfg.blocks[b];
+      for (const CfgStmt& s : blk.stmts) {
+        const Expr& e = fx->cache.parsed(s);
+        check_expr(e, ist, tst, w, false, s.line);
+        idom.transfer(e, ist);
+        tdom.transfer(e, tst);
+      }
+      // Loop conditions live on the head's branch edges (and on a
+      // do/while latch's back edge).
+      for (const CfgEdge& edge : blk.succ) {
+        if (edge.cond.empty()) continue;
+        const bool loop_edge =
+            (blk.is_loop_head &&
+             (edge.kind == EdgeKind::kTrue || edge.kind == EdgeKind::kFalse)) ||
+            edge.kind == EdgeKind::kBack;
+        if (!loop_edge) continue;
+        check_loop_cond(fx->cache.parsed_cond(edge), ist, tst, w,
+                        blk.stmts.empty() ? blk.line : blk.stmts.back().line);
+        break;  // one condition per loop head
+      }
+    }
+  }
+
+  CppIndex& index_;
+  const std::map<std::string, std::vector<Line>>& lines_;
+  Report& report_;
+  std::map<int, std::unique_ptr<FnCtx>> ctx_;
+  std::set<std::string> emitted_;
+  std::set<std::string> t003_done_;
+  std::map<std::string, Interval> oracle_memo_;
+  std::set<std::string> oracle_active_;
+  int oracle_depth_ = 0;
+};
+
+}  // namespace
+
+void analyze_value_index(
+    CppIndex& index,
+    const std::map<std::string, std::vector<Line>>& lines_by_file,
+    Report& report) {
+  index.finalize();
+  ValueflowAnalyzer analyzer(index, lines_by_file, report);
+  analyzer.run();
+}
+
+bool analyze_value_files(const std::vector<std::string>& files, Report& report,
+                         std::string* error) {
+  CppIndex index;
+  std::map<std::string, std::vector<Line>> lines_by_file;
+  for (const std::string& path : files) {
+    std::ifstream in(path, std::ios::binary);
+    if (!in) {
+      if (error != nullptr) *error = "cannot read " + path;
+      return false;
+    }
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    const std::string text = buf.str();
+    const std::string npath = normalize_path(path);
+    index_source(npath, text, index);
+    lines_by_file.emplace(npath, lex_lines(text));
+  }
+  analyze_value_index(index, lines_by_file, report);
+  return true;
+}
+
+}  // namespace dsp::analysis

@@ -1,0 +1,57 @@
+// dsp-dataflow: value-range and taint rules over per-function CFGs
+// (dsp_tidy --dataflow).
+//
+// For every function in a CppIndex a control-flow graph is built
+// (cfg.h), the interval and taint domains (domains.h) are run to a
+// widened fixpoint (dataflow.h), and the V/T rule families are checked
+// by re-walking each reachable block's statements under the solved
+// entry states:
+//   V000 div-by-witnessed-zero   — divisor interval carries a zero
+//                                  witness (a hard zero on a real path).
+//   V001 unsigned-sub-wrap       — unsigned a - b with refined ranges
+//                                  admitting a < b.
+//   V002 narrowing-cast-overflow — cast target cannot hold the analyzed
+//                                  range.
+//   V003 float-equality          — == / != on floating operands.
+//   V004 shift-out-of-range      — shift amount reaches the operand
+//                                  width, or can be negative.
+//   V005 loop-counter-narrow     — 32-bit counter vs 64-bit bound that
+//                                  exceeds INT32_MAX.
+//   T000 tainted-index           — untrusted value subscripts an array.
+//   T001 tainted-loop-bound      — untrusted value bounds a loop.
+//   T002 tainted-alloc-size      — untrusted value sizes an allocation.
+//   T003 env-unvalidated         — env_int/env_double knob used with no
+//                                  clamp or comparison guard.
+//
+// Calls are summarized interprocedurally through IntervalOracle: the
+// return expressions of same-named indexed functions are evaluated
+// under a fresh boundary state (memoized, depth-capped), which is how a
+// `return xs.empty() ? 0.0 : sum / n;` helper propagates its zero
+// witness into callers. `dsp-tidy: allow(ID)` on the finding line
+// suppresses it, same as every other dsp_tidy family.
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "analysis/cpp_index.h"
+#include "analysis/cpp_lex.h"
+#include "analysis/diagnostics.h"
+
+namespace dsp::analysis {
+
+/// Runs the V/T rules over an already-populated index. `lines_by_file`
+/// must hold the lexed lines of every file the index covers (keyed by
+/// the same path the index was fed). Calls index.finalize() itself.
+void analyze_value_index(
+    CppIndex& index,
+    const std::map<std::string, std::vector<Line>>& lines_by_file,
+    Report& report);
+
+/// Reads and indexes `files`, then runs the V/T rules. Returns false and
+/// sets `error` when a file cannot be read.
+bool analyze_value_files(const std::vector<std::string>& files, Report& report,
+                         std::string* error = nullptr);
+
+}  // namespace dsp::analysis

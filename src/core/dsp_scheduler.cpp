@@ -239,8 +239,11 @@ std::vector<TaskPlacement> DspScheduler::schedule_ilp(
           it.parents.push_back(
               static_cast<int>(index_of_gid_base.back() + p));
         if (options_.preemption_padding) {
+          // An empty (or fully degraded) cluster has mean_rate() == 0;
+          // no machine exists to preempt on, so pad nothing.
+          const double mean_rate = engine.cluster().mean_rate();
           const double exec_ref =
-              job.task(t).size_mi / engine.cluster().mean_rate();
+              mean_rate > 0.0 ? job.task(t).size_mi / mean_rate : 0.0;
           it.n_preempt = estimate_preemptions(exec_ref, it.deadline_s);
         }
         problem.tasks.push_back(std::move(it));

@@ -23,7 +23,7 @@ const char* to_string(JobTier t) {
 }
 
 bool Job::finalize(double reference_rate) {
-  assert(reference_rate > 0.0);
+  if (reference_rate <= 0.0) return false;
   if (!graph_.finalized() && !graph_.finalize()) return false;
 
   const int depth = graph_.depth();
@@ -37,12 +37,16 @@ bool Job::finalize(double reference_rate) {
     slot = std::max(slot, exec);
   }
 
-  // t^d(level l) = job deadline - sum of per-level maxima below l.
+  // t^d(level l) = job deadline - sum of per-level maxima below l. The
+  // kMaxTime "no deadline" sentinel propagates up unchanged instead of
+  // being dragged below INT64_MAX by the subtraction.
   std::vector<SimTime> level_deadline(static_cast<std::size_t>(depth) + 1, deadline_);
-  for (int l = depth - 1; l >= 1; --l)
+  for (int l = depth - 1; l >= 1; --l) {
+    const SimTime above = level_deadline[static_cast<std::size_t>(l) + 1];
     level_deadline[static_cast<std::size_t>(l)] =
-        level_deadline[static_cast<std::size_t>(l) + 1] -
-        max_exec[static_cast<std::size_t>(l) + 1];
+        above == kMaxTime ? kMaxTime
+                          : above - max_exec[static_cast<std::size_t>(l) + 1];
+  }
 
   for (auto& t : tasks_)
     t.deadline = level_deadline[static_cast<std::size_t>(t.level)];

@@ -128,6 +128,9 @@ double Engine::remaining_mi(Gid g) const {
 SimTime Engine::remaining_time(Gid g) const {
   const int node = rt_[g].node;
   const double rate = node >= 0 ? node_rate(node) : cluster_.mean_rate();
+  // A fully-degraded node (speed factor 0) or an empty cluster offers no
+  // progress: remaining time saturates instead of from_seconds(inf).
+  if (rate <= 0.0) return kMaxTime;
   return from_seconds(remaining_mi(g) / rate);
 }
 
@@ -170,9 +173,14 @@ Engine::LeafInputs Engine::leaf_inputs(Gid g) const {
   const double rate = r.node >= 0 ? node_rate(r.node) : cluster_.mean_rate();
   const double rem_mi = std::max(0.0, info.size_mi - executed);
   // Round through SimTime exactly as remaining_time does, so the fused
-  // inputs are bit-identical to the three separate accessors.
-  const SimTime t_rem = from_seconds(rem_mi / rate);
-  return {to_seconds(t_rem), wait_s, to_seconds(info.deadline - now_ - t_rem)};
+  // inputs are bit-identical to the three separate accessors. Zero rate
+  // saturates t_rem the same way remaining_time does; the allowance then
+  // saturates negative instead of wrapping deadline - now - kMaxTime
+  // below INT64_MIN.
+  const SimTime t_rem = rate > 0.0 ? from_seconds(rem_mi / rate) : kMaxTime;
+  const SimTime t_allow =
+      t_rem == kMaxTime ? -kMaxTime : info.deadline - now_ - t_rem;
+  return {to_seconds(t_rem), wait_s, to_seconds(t_allow)};
 }
 
 bool Engine::depends_on(Gid dependent, Gid precedent) const {

@@ -200,8 +200,11 @@ class Engine {
   /// Absolute per-task deadline t^d_ij (from the per-level rule).
   SimTime task_deadline(Gid g) const { return task_info(g).deadline; }
   /// Allowable waiting time t^a = t^d - now - t^rem (paper §IV-B).
+  /// Saturates at -kMaxTime when t^rem itself saturated (zero-rate
+  /// cluster) so the subtraction cannot wrap past INT64_MIN.
   SimTime allowable_waiting_time(Gid g) const {
-    return task_deadline(g) - now_ - remaining_time(g);
+    const SimTime t_rem = remaining_time(g);
+    return t_rem == kMaxTime ? -kMaxTime : task_deadline(g) - now_ - t_rem;
   }
   int assigned_node(Gid g) const {
     assert(g < rt_.size());

@@ -295,6 +295,24 @@ TEST(JobTest, PerLevelDeadlineUsesMaxPerLevel) {
   EXPECT_EQ(job.task(0).deadline, 48 * kSecond);
 }
 
+TEST(JobTest, NoDeadlineSentinelSurvivesLevelDerivation) {
+  // With the kMaxTime "no deadline" sentinel, the per-level rule must
+  // propagate the sentinel unchanged instead of subtracting execution
+  // times from INT64_MAX — consumers test `deadline == kMaxTime`.
+  const Job job = make_chain_job(0, 3, 1000.0);
+  for (TaskIndex t = 0; t < 3; ++t)
+    EXPECT_EQ(job.task(t).deadline, kMaxTime) << "task " << t;
+}
+
+TEST(JobTest, FinalizeRejectsNonPositiveReferenceRate) {
+  for (const double rate : {0.0, -5.0}) {
+    Job job(0, 1);
+    job.task(0).size_mi = 1000.0;
+    job.task(0).demand = Resources{1, 1, 0, 0};
+    EXPECT_FALSE(job.finalize(rate)) << "rate " << rate;
+  }
+}
+
 TEST(JobTest, CriticalPathOfChainIsSum) {
   const Job job = make_chain_job(4, 5, 1000.0);
   EXPECT_EQ(job.critical_path_time(kTestRate), 5 * kSecond);

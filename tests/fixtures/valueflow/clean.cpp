@@ -1,0 +1,67 @@
+// Clean control fixture for the dsp-dataflow rules: every hazard the
+// seeded fixtures demonstrate appears here in its guarded form — the
+// divisor is tested positive before dividing, the narrowing cast is
+// clamped into range, floats are compared through an epsilon, the
+// parsed allocation size is capped with std::min, the env knob is
+// range-checked before use, and loop counter/bound widths match. Must
+// produce zero findings under dsp_tidy --dataflow.
+// Lexical fixture: scanned by dsp_tidy --dataflow, never compiled.
+#include <cstdint>
+#include <string>
+#include <vector>
+
+double env_double(const char* name, double fallback);
+
+double safe_priority(double rem_mi) {
+  double rem_s = rem_mi;
+  double rate = 0.0;
+  if (rem_s > 10.0) rate = 9.5;
+  if (rate > 0.0) return rem_s / rate;
+  return 0.0;
+}
+
+uint64_t safe_gap() {
+  uint64_t queued = 450;
+  uint64_t served = 400;
+  return queued - served;
+}
+
+int32_t safe_fold(int64_t raw) {
+  int64_t window = raw;
+  if (window < 0) window = 0;
+  if (window > 1000000) window = 1000000;
+  return static_cast<int32_t>(window);
+}
+
+bool safe_converged(double target) {
+  double share = target * 0.5;
+  double prev = share + 1.0;
+  double eps = 0.000001;
+  double diff = prev - share;
+  return diff < eps;
+}
+
+uint32_t safe_flags() {
+  uint32_t flags = 1;
+  int shift = 31;
+  return flags << shift;
+}
+
+void safe_reserve(std::vector<int>& tasks, const std::string& field) {
+  const std::size_t cap = 1024;
+  const std::size_t n = std::min(std::stoul(field), cap);
+  tasks.reserve(n);
+}
+
+double safe_scale() {
+  const double raw = env_double("DSP_TICK_SCALE", 1.0);
+  if (raw > 0.0 && raw < 100.0) return raw;
+  return 1.0;
+}
+
+int64_t safe_sum() {
+  int64_t n = 100000;
+  int64_t total = 0;
+  for (int64_t i = 0; i < n; ++i) total += i;
+  return total;
+}

@@ -1,0 +1,10 @@
+// Seeded T000: a workload-CSV field parsed with stoi indexes a vector
+// with no bounds guard between parse and use.
+// Lexical fixture: scanned by dsp_tidy --dataflow, never compiled.
+#include <string>
+#include <vector>
+
+double pick_rate(const std::vector<double>& rates, const std::string& cell) {
+  const int k = std::stoi(cell);
+  return rates[k];
+}

@@ -1,0 +1,12 @@
+// Seeded T001: a parsed text field becomes a loop bound, putting the
+// trip count under hostile control.
+// Lexical fixture: scanned by dsp_tidy --dataflow, never compiled.
+#include <cstdint>
+#include <string>
+
+int64_t total_ticks(const std::string& field) {
+  const int64_t n = std::stoll(field);
+  int64_t total = 0;
+  for (int64_t i = 0; i < n; ++i) total += i;
+  return total;
+}

@@ -1,0 +1,10 @@
+// Seeded T002: a parsed field flows into vector::reserve with no cap —
+// a hostile workload line can demand an arbitrary allocation.
+// Lexical fixture: scanned by dsp_tidy --dataflow, never compiled.
+#include <string>
+#include <vector>
+
+void reserve_tasks(std::vector<int>& tasks, const std::string& field) {
+  const int n = std::stoi(field);
+  tasks.reserve(n);
+}

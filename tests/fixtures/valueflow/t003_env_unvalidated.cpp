@@ -1,0 +1,10 @@
+// Seeded T003: an environment knob read via env_double flows to its use
+// with no clamp or comparison guard anywhere between read and use.
+// Lexical fixture: scanned by dsp_tidy --dataflow, never compiled.
+
+double env_double(const char* name, double fallback);
+
+double tick_scale() {
+  const double scale = env_double("DSP_TICK_SCALE", 1.0);
+  return scale * 2.0;
+}

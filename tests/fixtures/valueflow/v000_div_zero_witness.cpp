@@ -1,0 +1,13 @@
+// Seeded V000: the divisor's interval carries a zero witness — `rate`
+// is initialized to a hard 0.0 and only conditionally raised, so the
+// join at the division still contains the concrete zero path. This is
+// the shape of the Formula 13 leaf-priority term 1/t_rem when a node's
+// speed factor degrades to zero.
+// Lexical fixture: scanned by dsp_tidy --dataflow, never compiled.
+
+double leaf_priority_demo(double rem_mi) {
+  double rem_s = rem_mi;
+  double rate = 0.0;
+  if (rem_s > 10.0) rate = 9.5;
+  return rem_s / rate;
+}

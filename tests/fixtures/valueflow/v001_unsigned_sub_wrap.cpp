@@ -1,0 +1,11 @@
+// Seeded V001: unsigned subtraction where the analyzed ranges prove the
+// right side can exceed the left — the deadline-chain shape
+// t^a = t^d - t^rem evaluated in an unsigned type.
+// Lexical fixture: scanned by dsp_tidy --dataflow, never compiled.
+#include <cstdint>
+
+uint64_t backlog_gap() {
+  uint64_t queued = 250;
+  uint64_t served = 400;
+  return queued - served;
+}

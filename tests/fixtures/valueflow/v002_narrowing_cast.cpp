@@ -1,0 +1,12 @@
+// Seeded V002: a 64-bit value clamped to [0, 6e9] by program text is
+// cast to int32_t, which tops out at 2147483647 — the refined range
+// proves the narrowing can overflow.
+// Lexical fixture: scanned by dsp_tidy --dataflow, never compiled.
+#include <cstdint>
+
+int32_t fold_window(int64_t raw) {
+  int64_t window = raw;
+  if (window < 0) window = 0;
+  if (window > 6000000000LL) window = 6000000000LL;
+  return static_cast<int32_t>(window);
+}

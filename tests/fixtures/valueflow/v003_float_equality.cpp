@@ -1,0 +1,10 @@
+// Seeded V003: exact `==` between two computed doubles. Comparing
+// against a literal sentinel is sanctioned; comparing two results of
+// floating arithmetic is not.
+// Lexical fixture: scanned by dsp_tidy --dataflow, never compiled.
+
+bool converged(double target) {
+  double share = target * 0.5;
+  double prev = share + 1.0;
+  return share == prev;
+}

@@ -1,0 +1,10 @@
+// Seeded V004: shifting a 32-bit value by an amount whose interval
+// reaches the type width (32) — undefined behaviour in C++.
+// Lexical fixture: scanned by dsp_tidy --dataflow, never compiled.
+#include <cstdint>
+
+uint32_t scale_flags() {
+  uint32_t flags = 1;
+  int shift = 32;
+  return flags << shift;
+}

@@ -1,0 +1,12 @@
+// Seeded V005: a 32-bit `int` loop counter driven to a 64-bit bound
+// whose interval provably exceeds INT32_MAX — the counter overflows
+// before the loop terminates.
+// Lexical fixture: scanned by dsp_tidy --dataflow, never compiled.
+#include <cstdint>
+
+int64_t sum_epochs() {
+  int64_t n = 5000000000LL;
+  int64_t total = 0;
+  for (int i = 0; i < n; ++i) total += i;
+  return total;
+}

@@ -167,6 +167,39 @@ TEST(EngineTest, MultiNodeSpreadsLoad) {
   EXPECT_EQ(engine.run().makespan, 1 * kSecond);
 }
 
+TEST(EngineTest, ZeroRateClusterSaturatesTimeQueries) {
+  // A fully-degraded cluster (g(k) = 0 for every k) must saturate the
+  // time queries instead of dividing by zero: t^rem pins to kMaxTime and
+  // t^a = t^d - now - t^rem saturates to -kMaxTime rather than wrapping
+  // below INT64_MIN.
+  JobSet jobs;
+  jobs.push_back(make_independent_job(0, 1, 1000.0, 0, 10 * kSecond));
+  RoundRobinScheduler sched;
+  Engine engine(ClusterSpec::uniform(1, 0.0, 0.0, 2), std::move(jobs), sched,
+                nullptr, fast_params());
+  const Gid g = engine.gid(0, 0);
+  EXPECT_EQ(engine.remaining_time(g), kMaxTime);
+  EXPECT_EQ(engine.allowable_waiting_time(g), -kMaxTime);
+  const Engine::LeafInputs in = engine.leaf_inputs(g);
+  EXPECT_EQ(in.t_rem_s, to_seconds(kMaxTime));
+  EXPECT_EQ(in.t_allow_s, to_seconds(-kMaxTime));
+}
+
+TEST(EngineTest, LeafInputsMatchSeparateAccessors) {
+  // The fused accessor promises bit-identical results to composing the
+  // three separate queries (priority.cpp depends on this).
+  JobSet jobs;
+  jobs.push_back(make_chain_job(0, 2, 1234.0, 0, 30 * kSecond));
+  RoundRobinScheduler sched;
+  Engine engine(test_cluster(1, 2), std::move(jobs), sched, nullptr,
+                fast_params());
+  const Gid g = engine.gid(0, 1);
+  const Engine::LeafInputs in = engine.leaf_inputs(g);
+  EXPECT_EQ(in.t_rem_s, to_seconds(engine.remaining_time(g)));
+  EXPECT_EQ(in.t_wait_s, engine.accumulated_wait_s(g));
+  EXPECT_EQ(in.t_allow_s, to_seconds(engine.allowable_waiting_time(g)));
+}
+
 TEST(EngineTest, LateArrivalWaitsForPeriodTick) {
   // Job arrives at 1.5 s; period is 1 s, so it is scheduled at the next
   // tick (2.0 s relative to the first arrival's tick grid anchored at

@@ -1,8 +1,10 @@
 // dsp_tidy: source-level determinism & concurrency lint for the repo's
-// own C++ (src/analysis/srclint), plus the dsp-flow interprocedural
-// lock-order & determinism analysis (src/analysis/lockflow).
+// own C++ (src/analysis/srclint), the dsp-flow interprocedural
+// lock-order & determinism analysis (src/analysis/lockflow) and the
+// dsp-dataflow value-range & taint analysis (src/analysis/valueflow).
 //
-//   dsp_tidy <path...> [--flow] [--json <path|->] [--rules <ids>]
+//   dsp_tidy <path...> [--srclint] [--flow] [--dataflow]
+//            [--json <path|->] [--rules <ids>] [--baseline <file>]
 //            [--compdb <compile_commands.json>]
 //   dsp_tidy rules | --list-rules
 //
@@ -10,36 +12,53 @@
 // .h/.hh/.hpp/.cc/.cpp/.cxx); --compdb scans the translation units of a
 // CMake compile_commands.json (plus same-stem headers) instead. Rule
 // packs: D* determinism, C* concurrency/robustness (line rules), L*
-// lock flow (--flow) — see `dsp_tidy --list-rules` or rules.h. Findings
-// are printed compiler-style ("D001 std-random-device error
-// src/x.cpp:12: ..."); --json writes the same machine-readable document
-// dsp_analyze emits (json_check-compatible).
+// lock flow (--flow), V* value-range and T* taint (--dataflow) — see
+// `dsp_tidy --list-rules` or rules.h. Findings are printed
+// compiler-style ("D001 std-random-device error src/x.cpp:12: ...");
+// --json writes the same machine-readable document dsp_analyze emits
+// (json_check-compatible), including the scan wall time.
 //
-// --flow runs ONLY the interprocedural rules (L000-L004, D006) so its
-// findings never overlap the line rules; run both modes for full
-// coverage (tools/ci.sh does).
+// Mode flags combine: `--srclint --flow --dataflow` runs all three
+// analyses over one shared SourceCache/CppIndex, so each file is read,
+// lexed and indexed exactly once. With no mode flag the line rules run
+// alone (the historical default); --flow and --dataflow each run ONLY
+// their own rule family, so findings never overlap across modes.
+//
+// --baseline <file>: when <file> does not exist, every current finding
+// is written to it (keyed rule + file + message, line numbers elided so
+// unrelated edits don't shift the baseline) and the run reports clean.
+// When it exists, findings recorded in it are suppressed and only NEW
+// findings are reported — the adoption path for turning the analyses on
+// over a codebase with known debt.
 //
 // Exit codes: 0 = no error-severity findings, 1 = at least one error
 // finding, 2 = usage or I/O problem.
+#include <chrono>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
 #include <iostream>
+#include <map>
+#include <set>
 #include <string>
 #include <vector>
 
 #include "analysis/lockflow.h"
 #include "analysis/rules.h"
 #include "analysis/srclint.h"
+#include "analysis/valueflow.h"
 
 namespace {
 
 int usage(const char* argv0) {
-  std::fprintf(stderr,
-               "usage: %s <path...> [--flow] [--json <path|->] [--rules <ids>]"
-               " [--compdb <file>]\n"
-               "       %s rules | --list-rules\n",
-               argv0, argv0);
+  std::fprintf(
+      stderr,
+      "usage: %s <path...> [--srclint] [--flow] [--dataflow]\n"
+      "       %*s [--json <path|->] [--rules <ids>] [--baseline <file>]\n"
+      "       %*s [--compdb <file>]\n"
+      "       %s rules | --list-rules\n",
+      argv0, static_cast<int>(std::strlen(argv0)), "",
+      static_cast<int>(std::strlen(argv0)), "", argv0);
   return 2;
 }
 
@@ -58,7 +77,8 @@ std::vector<std::string> split_rules(const std::string& csv) {
 }
 
 bool is_source_rule(const char* id) {
-  return id[0] == 'D' || id[0] == 'C' || id[0] == 'L';
+  return id[0] == 'D' || id[0] == 'C' || id[0] == 'L' || id[0] == 'V' ||
+         id[0] == 'T';
 }
 
 int list_rules() {
@@ -72,6 +92,23 @@ int list_rules() {
   return 0;
 }
 
+/// Line-number-free identity of a finding for --baseline files: edits
+/// above a finding must not make it "new".
+std::string baseline_key(const dsp::analysis::Diagnostic& d) {
+  std::string file = d.subject;
+  const std::size_t colon = file.rfind(':');
+  if (colon != std::string::npos &&
+      file.find_first_not_of("0123456789", colon + 1) == std::string::npos)
+    file.resize(colon);
+  std::string msg;
+  for (const char c : d.message) {
+    if (c == '\n') msg += "\\n";
+    else if (c == '\t') msg += "\\t";
+    else msg += c;
+  }
+  return d.rule + "\t" + file + "\t" + msg;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -83,8 +120,11 @@ int main(int argc, char** argv) {
   std::vector<std::string> paths;
   std::string json_path;
   std::string compdb_path;
+  std::string baseline_path;
   std::vector<std::string> filter;
+  bool srclint = false;
   bool flow = false;
+  bool dataflow = false;
   for (int i = 1; i < argc; ++i) {
     const auto need_value = [&](const char* flag) -> const char* {
       if (i + 1 >= argc) {
@@ -105,8 +145,16 @@ int main(int argc, char** argv) {
       const char* v = need_value("--compdb");
       if (!v) return 2;
       compdb_path = v;
+    } else if (std::strcmp(argv[i], "--baseline") == 0) {
+      const char* v = need_value("--baseline");
+      if (!v) return 2;
+      baseline_path = v;
+    } else if (std::strcmp(argv[i], "--srclint") == 0) {
+      srclint = true;
     } else if (std::strcmp(argv[i], "--flow") == 0) {
       flow = true;
+    } else if (std::strcmp(argv[i], "--dataflow") == 0) {
+      dataflow = true;
     } else if (argv[i][0] == '-' && argv[i][1] != '\0') {
       std::fprintf(stderr, "%s: unknown flag %s\n", argv[0], argv[i]);
       return usage(argv[0]);
@@ -115,6 +163,7 @@ int main(int argc, char** argv) {
     }
   }
   if (paths.empty() && compdb_path.empty()) return usage(argv[0]);
+  if (!srclint && !flow && !dataflow) srclint = true;  // historical default
   for (const std::string& id : filter) {
     if (!dsp::analysis::find_rule(id)) {
       std::fprintf(stderr, "%s: unknown rule id %s (see `%s rules`)\n",
@@ -138,19 +187,61 @@ int main(int argc, char** argv) {
     return 2;
   }
 
+  const auto scan_start = std::chrono::steady_clock::now();
   dsp::analysis::Report report;
   report.set_rule_filter(filter);
-  if (flow) {
-    if (!dsp::analysis::analyze_flow_files(files, report, &error)) {
-      std::fprintf(stderr, "%s: %s\n", argv[0], error.c_str());
+
+  // One read + lex per file feeds every requested mode; --flow and
+  // --dataflow additionally share a single CppIndex.
+  dsp::analysis::SourceCache cache;
+  dsp::analysis::CppIndex index;
+  std::map<std::string, std::vector<dsp::analysis::Line>> lines_by_file;
+  const bool need_index = flow || dataflow;
+  for (const std::string& file : files) {
+    const auto& entry = cache.load_file(file);
+    if (!entry.ok) {
+      std::fprintf(stderr, "%s: %s\n", argv[0], entry.error.c_str());
       return 2;
     }
-  } else {
-    for (const std::string& file : files) {
-      if (!dsp::analysis::scan_source_file(file, report, &error)) {
-        std::fprintf(stderr, "%s: %s\n", argv[0], error.c_str());
+    if (srclint) dsp::analysis::scan_source_lines(file, entry.lines, report);
+    if (need_index) {
+      dsp::analysis::index_source_lines(file, entry.lines, index);
+      lines_by_file.emplace(dsp::analysis::normalize_path(file), entry.lines);
+    }
+  }
+  if (flow) dsp::analysis::analyze_flow_index(index, report);
+  if (dataflow)
+    dsp::analysis::analyze_value_index(index, lines_by_file, report);
+  report.set_scan_seconds(
+      std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                    scan_start)
+          .count());
+
+  if (!baseline_path.empty()) {
+    std::ifstream in(baseline_path);
+    if (!in) {
+      std::ofstream out(baseline_path);
+      if (!out) {
+        std::fprintf(stderr, "%s: cannot write baseline %s\n", argv[0],
+                     baseline_path.c_str());
         return 2;
       }
+      for (const auto& d : report.diagnostics()) out << baseline_key(d) << '\n';
+      std::fprintf(stdout, "dsp_tidy: wrote baseline (%zu findings) to %s\n",
+                   report.diagnostics().size(), baseline_path.c_str());
+      dsp::analysis::Report fresh;
+      fresh.set_scan_seconds(report.scan_seconds());
+      report = fresh;
+    } else {
+      std::set<std::string> known;
+      for (std::string line; std::getline(in, line);)
+        if (!line.empty()) known.insert(line);
+      dsp::analysis::Report fresh;
+      for (const auto& d : report.diagnostics())
+        if (known.count(baseline_key(d)) == 0)
+          fresh.add(d.rule, d.severity, d.subject, d.message);
+      fresh.set_scan_seconds(report.scan_seconds());
+      report = fresh;
     }
   }
 
