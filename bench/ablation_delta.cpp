@@ -7,6 +7,8 @@
 #include <cstdio>
 
 #include "bench_common.h"
+#include "core/dsp_system.h"
+#include "core/preemption.h"
 
 int main(int argc, char** argv) {
   using namespace dsp::bench;
@@ -19,20 +21,22 @@ int main(int argc, char** argv) {
 
   const std::size_t jobs_n = 300;
   const auto jobs = make_workload(jobs_n, env.scale, env.seed);
-  const ClusterSpec cluster = ClusterSpec::ec2();
 
   Table table("delta sweep: " + std::to_string(jobs_n) + " jobs, EC2 profile");
   table.set_header({"delta", "preemptions", "throughput(t/ms)", "makespan(s)",
                     "avg-wait(s)", "final-delta"});
 
+  // This bench reads policy.current_delta() after the run, so it keeps a
+  // concrete DspPreemption instead of going through run_standard_scenario;
+  // the knob-to-params mapping still comes from the factory.
   auto run_variant = [&](const std::string& name, double delta, bool adaptive) {
-    DspParams params;
-    params.delta = delta;
-    params.adaptive_delta = adaptive;
-    DspScheduler sched;
-    DspPreemption policy(params);
+    ScenarioSpec spec = fig_scenario(ClusterProfile::kEc2, jobs_n, env);
+    spec.knobs.delta = delta;
+    spec.knobs.adaptive_delta = adaptive;
+    const auto sched = StandardScenarioFactory().make_scheduler(spec);
+    DspPreemption policy(StandardScenarioFactory::dsp_params(spec));
     const RunMetrics m =
-        simulate(cluster, jobs, sched, &policy, paper_engine_params());
+        simulate(make_cluster(spec.cluster), jobs, *sched, &policy, spec.engine);
     table.add_row({name, fmt_count(static_cast<long long>(m.preemptions)),
                    fmt(m.throughput_tasks_per_ms(), 4),
                    fmt(to_seconds(m.makespan)), fmt(m.avg_job_waiting_s()),

@@ -7,24 +7,6 @@
 #include <cstdio>
 
 #include "bench_common.h"
-#include "sim/failures.h"
-
-namespace {
-
-dsp::RunMetrics run_with_plan(dsp::bench::PolicyKind policy,
-                              const dsp::ClusterSpec& cluster,
-                              const dsp::JobSet& jobs,
-                              const dsp::FailurePlan& plan) {
-  using namespace dsp;
-  DspScheduler scheduler;
-  const auto p = dsp::bench::make_policy(policy);
-  Engine engine(cluster, jobs, scheduler, p.get(),
-                dsp::bench::paper_engine_params());
-  if (!plan.empty()) engine.set_failure_plan(plan);
-  return engine.run();
-}
-
-}  // namespace
 
 int main(int argc, char** argv) {
   using namespace dsp::bench;
@@ -36,20 +18,20 @@ int main(int argc, char** argv) {
   BenchJsonReport report("ablation_failures", env);
 
   const std::size_t jobs_n = 300;
-  const auto jobs = make_workload(jobs_n, env.scale, env.seed);
-  const ClusterSpec cluster = ClusterSpec::ec2();
-  const SimTime horizon = 40 * kHour;
 
   // ---- Outage-rate sweep for DSP --------------------------------------
   Table sweep("DSP under increasing outage rates (300 jobs, EC2 profile)");
   sweep.set_header({"MTBF(h)", "failures", "tasks-killed", "makespan(s)",
                     "throughput(t/ms)", "work-lost(MI)"});
   for (double mtbf_hours : {0.0, 8.0, 4.0, 2.0, 1.0}) {
-    FailurePlan plan;
-    if (mtbf_hours > 0.0)
-      plan = FailurePlan::random_outages(cluster, horizon, mtbf_hours,
-                                         /*mttr_minutes=*/5.0, env.seed + 1);
-    const RunMetrics m = run_with_plan(PolicyKind::kDsp, cluster, jobs, plan);
+    ScenarioSpec spec = fig_scenario(ClusterProfile::kEc2, jobs_n, env);
+    if (mtbf_hours > 0.0) {
+      spec.failures.kind = FailureRecipe::Kind::kOutages;
+      spec.failures.mtbf_hours = mtbf_hours;
+      spec.failures.mttr_minutes = 5.0;
+      spec.failures.seed = env.seed + 1;
+    }
+    const RunMetrics m = run_standard_scenario(spec);
     report.add_run("dsp-mtbf=" +
                        (mtbf_hours == 0.0 ? std::string("none")
                                           : fmt(mtbf_hours, 1) + "h"),
@@ -64,15 +46,21 @@ int main(int argc, char** argv) {
   std::fputs("\n", stdout);
 
   // ---- Policy comparison under a fixed failure plan --------------------
-  const FailurePlan shared =
-      FailurePlan::random_outages(cluster, horizon, 4.0, 5.0, env.seed + 2);
+  // The recipe pins its own plan seed, so every policy sees the same
+  // outage schedule (plan generation is deterministic per cluster + seed).
   Table cmp("preemption policies under MTBF=4h outages");
   cmp.set_header({"policy", "makespan(s)", "throughput(t/ms)", "tasks-killed",
                   "work-lost(MI)"});
   for (PolicyKind policy : {PolicyKind::kDsp, PolicyKind::kDspNoPp,
                             PolicyKind::kAmoeba, PolicyKind::kNatjam,
                             PolicyKind::kSrpt}) {
-    const RunMetrics m = run_with_plan(policy, cluster, jobs, shared);
+    ScenarioSpec spec = fig_scenario(ClusterProfile::kEc2, jobs_n, env);
+    spec.policy = policy;
+    spec.failures.kind = FailureRecipe::Kind::kOutages;
+    spec.failures.mtbf_hours = 4.0;
+    spec.failures.mttr_minutes = 5.0;
+    spec.failures.seed = env.seed + 2;
+    const RunMetrics m = run_standard_scenario(spec);
     report.add_run(std::string("mtbf4h-") + to_string(policy), m);
     cmp.add_row({to_string(policy), fmt(to_seconds(m.makespan)),
                  fmt(m.throughput_tasks_per_ms(), 4),
@@ -92,18 +80,17 @@ int main(int argc, char** argv) {
   };
   for (const Level& level : {Level{"none", 0}, Level{"light", 2 * kHour},
                              Level{"heavy", 30 * kMinute}}) {
-    FailurePlan plan;
-    if (level.mean_gap > 0)
-      plan = FailurePlan::random_stragglers(cluster, horizon, level.mean_gap,
-                                            10 * kMinute, 0.4, env.seed + 3);
     for (bool mitigate : {false, true}) {
-      DspScheduler scheduler;
-      DspParams params;
-      params.straggler_mitigation = mitigate;
-      DspPreemption policy(params);
-      Engine engine(cluster, jobs, scheduler, &policy, paper_engine_params());
-      if (!plan.empty()) engine.set_failure_plan(plan);
-      const RunMetrics m = engine.run();
+      ScenarioSpec spec = fig_scenario(ClusterProfile::kEc2, jobs_n, env);
+      spec.knobs.straggler_mitigation = mitigate;
+      if (level.mean_gap > 0) {
+        spec.failures.kind = FailureRecipe::Kind::kStragglers;
+        spec.failures.mean_gap = level.mean_gap;
+        spec.failures.mean_duration = 10 * kMinute;
+        spec.failures.factor = 0.4;
+        spec.failures.seed = env.seed + 3;
+      }
+      const RunMetrics m = run_standard_scenario(spec);
       strag.add_row({level.name, mitigate ? "on" : "off",
                      fmt(to_seconds(m.makespan)),
                      fmt(m.throughput_tasks_per_ms(), 4)});

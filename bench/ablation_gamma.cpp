@@ -19,21 +19,16 @@ int main(int argc, char** argv) {
   BenchJsonReport report("ablation_gamma", env);
 
   const std::size_t jobs_n = 300;
-  const auto jobs = make_workload(jobs_n, env.scale, env.seed);
-  const ClusterSpec cluster = ClusterSpec::ec2();
 
   Table table("gamma sweep: " + std::to_string(jobs_n) + " jobs, EC2 profile");
   table.set_header({"gamma", "throughput(t/ms)", "makespan(s)", "avg-wait(s)",
                     "preemptions", "deadline-met"});
   for (double gamma : {0.1, 0.3, 0.5, 0.7, 0.9}) {
-    DspParams params;
-    params.gamma = gamma;
-    DspScheduler::Options sopts;
-    sopts.gamma = gamma;
-    DspScheduler sched(sopts);
-    DspPreemption policy(params);
-    const RunMetrics m =
-        simulate(cluster, jobs, sched, &policy, paper_engine_params());
+    // gamma feeds both the scheduler (level weights) and the preemption
+    // policy (urgency); the knob plumbs it to both via the factory.
+    ScenarioSpec spec = fig_scenario(ClusterProfile::kEc2, jobs_n, env);
+    spec.knobs.gamma = gamma;
+    const RunMetrics m = run_standard_scenario(spec);
     table.add_row({fmt(gamma, 1), fmt(m.throughput_tasks_per_ms(), 4),
                    fmt(to_seconds(m.makespan)), fmt(m.avg_job_waiting_s()),
                    fmt_count(static_cast<long long>(m.preemptions)),

@@ -17,28 +17,21 @@ int main(int argc, char** argv) {
   BenchJsonReport report("ablation_locality", env);
 
   const std::size_t jobs_n = 200;
-  const ClusterSpec cluster = ClusterSpec::ec2();
+  const ScenarioSpec base = fig_scenario(ClusterProfile::kEc2, jobs_n, env);
+  const std::size_t cluster_nodes = make_cluster(base.cluster).size();
 
   Table table("locality-aware vs blind placement (200 jobs, EC2 profile)");
   table.set_header({"pinned-fraction", "variant", "hit-rate", "makespan(s)",
                     "throughput(t/ms)", "overhead(s)"});
 
   for (double fraction : {0.0, 0.4, 0.8}) {
-    WorkloadConfig cfg;
-    cfg.job_count = jobs_n;
-    cfg.task_scale = env.scale;
-    cfg.locality_nodes = cluster.size();
-    cfg.locality_fraction = fraction;
-    cfg.input_mb_mu = 6.5;
-    const JobSet jobs = WorkloadGenerator(cfg, env.seed).generate();
-
     for (bool aware : {true, false}) {
-      DspScheduler::Options opts;
-      opts.locality_aware = aware;
-      DspScheduler sched(opts);
-      DspPreemption policy;
-      const RunMetrics m =
-          simulate(cluster, jobs, sched, &policy, paper_engine_params());
+      ScenarioSpec spec = base;
+      spec.workload.locality_nodes = cluster_nodes;
+      spec.workload.locality_fraction = fraction;
+      spec.workload.input_mb_mu = 6.5;
+      spec.knobs.locality_aware = aware;
+      const RunMetrics m = run_standard_scenario(spec);
       table.add_row({fmt(fraction, 1), aware ? "aware" : "blind",
                      fmt(m.locality_hit_rate(), 3),
                      fmt(to_seconds(m.makespan)),

@@ -18,8 +18,6 @@ int main(int argc, char** argv) {
   BenchJsonReport report("ablation_pp", env);
 
   const std::size_t jobs_n = 300;
-  const auto jobs = make_workload(jobs_n, env.scale, env.seed);
-  const ClusterSpec cluster = ClusterSpec::ec2();
 
   struct Variant {
     std::string name;
@@ -39,13 +37,10 @@ int main(int argc, char** argv) {
   table.set_header({"variant", "preemptions", "suppressed", "throughput(t/ms)",
                     "makespan(s)", "avg-wait(s)"});
   for (const auto& v : variants) {
-    DspParams params;
-    params.normalized_pp = v.pp;
-    if (v.pp) params.rho = v.rho;
-    DspScheduler sched;
-    DspPreemption policy(params);
-    const RunMetrics m =
-        simulate(cluster, jobs, sched, &policy, paper_engine_params());
+    ScenarioSpec spec = fig_scenario(ClusterProfile::kEc2, jobs_n, env);
+    spec.knobs.normalized_pp = v.pp;
+    if (v.pp) spec.knobs.rho = v.rho;
+    const RunMetrics m = run_standard_scenario(spec);
     table.add_row({v.name, fmt_count(static_cast<long long>(m.preemptions)),
                    fmt_count(static_cast<long long>(m.suppressed_preemptions)),
                    fmt(m.throughput_tasks_per_ms(), 4),

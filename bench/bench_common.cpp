@@ -24,73 +24,35 @@ EngineParams paper_engine_params() {
   return p;
 }
 
-const char* to_string(SchedKind k) {
-  switch (k) {
-    case SchedKind::kDsp: return "DSP";
-    case SchedKind::kAalo: return "Aalo";
-    case SchedKind::kTetrisSimDep: return "TetrisW/SimDep";
-    case SchedKind::kTetrisNoDep: return "TetrisW/oDep";
-  }
-  return "?";
+ScenarioSpec fig_scenario(ClusterProfile profile, std::size_t jobs,
+                          const BenchEnv& env) {
+  ScenarioSpec spec;
+  spec.name = std::string(to_string(profile)) + "-j" + std::to_string(jobs);
+  spec.cluster.profile = profile;
+  spec.workload.job_count = jobs;
+  spec.workload.task_scale = env.scale;
+  spec.engine = paper_engine_params();
+  spec.seed = env.seed;
+  return spec;
 }
 
-std::unique_ptr<Scheduler> make_scheduler(SchedKind k) {
-  switch (k) {
-    case SchedKind::kDsp: return std::make_unique<DspScheduler>();
-    case SchedKind::kAalo: return std::make_unique<AaloScheduler>();
-    case SchedKind::kTetrisSimDep:
-      return std::make_unique<TetrisScheduler>(
-          TetrisScheduler::Dependency::kSimple);
-    case SchedKind::kTetrisNoDep:
-      return std::make_unique<TetrisScheduler>(
-          TetrisScheduler::Dependency::kNone);
-  }
-  return nullptr;
-}
-
-const char* to_string(PolicyKind k) {
-  switch (k) {
-    case PolicyKind::kDsp: return "DSP";
-    case PolicyKind::kDspNoPp: return "DSPW/oPP";
-    case PolicyKind::kAmoeba: return "Amoeba";
-    case PolicyKind::kNatjam: return "Natjam";
-    case PolicyKind::kSrpt: return "SRPT";
-  }
-  return "?";
-}
-
-std::unique_ptr<PreemptionPolicy> make_policy(PolicyKind k) {
-  switch (k) {
-    case PolicyKind::kDsp: return std::make_unique<DspPreemption>();
-    case PolicyKind::kDspNoPp: {
-      DspParams params;
-      params.normalized_pp = false;
-      return std::make_unique<DspPreemption>(params);
-    }
-    case PolicyKind::kAmoeba: return std::make_unique<AmoebaPolicy>();
-    case PolicyKind::kNatjam: return std::make_unique<NatjamPolicy>();
-    case PolicyKind::kSrpt: return std::make_unique<SrptPolicy>();
-  }
-  return nullptr;
-}
-
-RunMetrics run_scheduler(SchedKind kind, const ClusterSpec& cluster,
-                         const JobSet& jobs) {
-  const auto scheduler = make_scheduler(kind);
+ScenarioSpec scheduler_scenario(SchedKind kind, ClusterProfile profile,
+                                std::size_t jobs, const BenchEnv& env) {
+  ScenarioSpec spec = fig_scenario(profile, jobs, env);
+  spec.sched = kind;
   // Fig. 5 compares the *full* DSP system against scheduling-only
   // baselines: DSP keeps its online preemption; the baselines have none.
-  std::unique_ptr<PreemptionPolicy> policy;
-  if (kind == SchedKind::kDsp) policy = make_policy(PolicyKind::kDsp);
-  return simulate(cluster, jobs, *scheduler, policy.get(),
-                  paper_engine_params());
+  spec.policy =
+      kind == SchedKind::kDsp ? PolicyKind::kDsp : PolicyKind::kNone;
+  return spec;
 }
 
-RunMetrics run_policy(PolicyKind kind, const ClusterSpec& cluster,
-                      const JobSet& jobs) {
-  DspScheduler scheduler;  // DSP's initial schedule for every method
-  const auto policy = make_policy(kind);
-  return simulate(cluster, jobs, scheduler, policy.get(),
-                  paper_engine_params());
+ScenarioSpec policy_scenario(PolicyKind kind, ClusterProfile profile,
+                             std::size_t jobs, const BenchEnv& env) {
+  ScenarioSpec spec = fig_scenario(profile, jobs, env);
+  spec.sched = SchedKind::kDsp;  // DSP's initial schedule for every method
+  spec.policy = kind;
+  return spec;
 }
 
 void print_bench_header(const std::string& name, const BenchEnv& env) {

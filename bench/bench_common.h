@@ -1,5 +1,12 @@
 // Shared harness for the figure-reproduction benches.
 //
+// The figure binaries describe their experiments as ScenarioSpec grids
+// (sim/scenario.h) and run them through the standard factory
+// (scenarios/standard.h): one spec per (testbed, method, job count) cell,
+// executed sequentially so the flight-recorder environment knobs
+// (DSP_EVENT_LOG) keep their one-run-per-sink semantics. tools/dsp_sweep
+// is the parallel front-end over the same specs.
+//
 // Scaling: the paper runs up to 750 jobs x up to 2000 tasks for hours on
 // 50 physical servers. The benches keep the paper's job counts and
 // small/medium/large mix but scale per-job task counts by DSP_SCALE
@@ -14,11 +21,8 @@
 #include <string>
 #include <vector>
 
-#include "baselines/aalo.h"
-#include "baselines/preempt_baselines.h"
-#include "baselines/tetris.h"
-#include "core/dsp_system.h"
 #include "metrics/report.h"
+#include "scenarios/standard.h"
 #include "sim/cluster.h"
 #include "trace/workload.h"
 #include "util/env.h"
@@ -54,25 +58,29 @@ JobSet make_workload(std::size_t jobs, double scale, std::uint64_t seed);
 /// 5 minutes; preemption each epoch).
 EngineParams paper_engine_params();
 
-/// Scheduler identifiers for Fig. 5.
-enum class SchedKind { kDsp, kAalo, kTetrisSimDep, kTetrisNoDep };
-const char* to_string(SchedKind k);
-std::unique_ptr<Scheduler> make_scheduler(SchedKind k);
+// The method identifiers moved into dsp:: with the scenario layer
+// (sim/scenario.h); re-exported so figure code keeps its spelling.
+// to_string(SchedKind/PolicyKind) resolves to the dsp:: display names
+// ("DSP", "TetrisW/oDep", ...) via argument-dependent lookup.
+using SchedKind = dsp::SchedKind;
+using PolicyKind = dsp::PolicyKind;
 
-/// Preemption-policy identifiers for Fig. 6/7.
-enum class PolicyKind { kDsp, kDspNoPp, kAmoeba, kNatjam, kSrpt };
-const char* to_string(PolicyKind k);
-std::unique_ptr<PreemptionPolicy> make_policy(PolicyKind k);
+/// Base spec for one figure cell: the given testbed profile, the paper's
+/// workload recipe at `jobs` jobs and env.scale, env.seed, and
+/// paper_engine_params(). Callers then pick the policy pair.
+ScenarioSpec fig_scenario(ClusterProfile profile, std::size_t jobs,
+                          const BenchEnv& env);
 
-/// One full run: scheduler alone (policy == nullptr case is expressed by
-/// passing std::nullopt-like kNone? — figure benches pass what they need).
-RunMetrics run_scheduler(SchedKind sched, const ClusterSpec& cluster,
-                         const JobSet& jobs);
+/// Spec for one Fig. 5/8 scheduler-comparison run. The paper compares the
+/// *full* DSP system against scheduling-only baselines: DSP keeps its
+/// online preemption, every other scheduler runs offline-only.
+ScenarioSpec scheduler_scenario(SchedKind kind, ClusterProfile profile,
+                                std::size_t jobs, const BenchEnv& env);
 
-/// One preemption run on DSP's initial schedule (paper: "we use our
-/// initial schedule for all preemption methods").
-RunMetrics run_policy(PolicyKind policy, const ClusterSpec& cluster,
-                      const JobSet& jobs);
+/// Spec for one Fig. 6/7 preemption-comparison run ("we use our initial
+/// schedule for all preemption methods": DSP scheduling for everyone).
+ScenarioSpec policy_scenario(PolicyKind kind, ClusterProfile profile,
+                             std::size_t jobs, const BenchEnv& env);
 
 /// Prints a one-line header for a bench binary.
 void print_bench_header(const std::string& name, const BenchEnv& env);

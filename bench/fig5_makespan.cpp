@@ -10,7 +10,7 @@
 namespace dsp::bench {
 namespace {
 
-void run_testbed(const char* title, const ClusterSpec& cluster,
+void run_testbed(const char* title, ClusterProfile profile,
                  const BenchEnv& env, BenchJsonReport& report) {
   const std::vector<SchedKind> methods{SchedKind::kDsp, SchedKind::kAalo,
                                        SchedKind::kTetrisSimDep,
@@ -20,10 +20,11 @@ void run_testbed(const char* title, const ClusterSpec& cluster,
   MetricSeries series(names, env.job_counts());
 
   for (std::size_t xi = 0; xi < env.job_counts().size(); ++xi) {
-    const auto jobs = make_workload(
-        static_cast<std::size_t>(env.job_counts()[xi]), env.scale, env.seed);
+    const auto jobs_n = static_cast<std::size_t>(env.job_counts()[xi]);
     for (std::size_t mi = 0; mi < methods.size(); ++mi)
-      series.set(mi, xi, run_scheduler(methods[mi], cluster, jobs));
+      series.set(mi, xi,
+                 run_standard_scenario(
+                     scheduler_scenario(methods[mi], profile, jobs_n, env)));
   }
 
   std::fputs(series.makespan_table(std::string(title) + ": makespan (s) vs #jobs")
@@ -44,9 +45,9 @@ int main(int argc, char** argv) {
   const BenchEnv env;
   print_bench_header("Figure 5: makespan of scheduling methods", env);
   BenchJsonReport report("fig5_makespan", env);
-  run_testbed("Fig 5(a) real cluster", dsp::ClusterSpec::real_cluster(), env,
+  run_testbed("Fig 5(a) real cluster", dsp::ClusterProfile::kRealCluster, env,
               report);
-  run_testbed("Fig 5(b) Amazon EC2", dsp::ClusterSpec::ec2(), env, report);
+  run_testbed("Fig 5(b) Amazon EC2", dsp::ClusterProfile::kEc2, env, report);
   report.write_if_requested(cli);
   return 0;
 }

@@ -11,7 +11,7 @@
 namespace dsp::bench {
 
 void run_preemption_figure(const char* figure, const char* bench_name,
-                           const ClusterSpec& cluster, const BenchCli& cli) {
+                           ClusterProfile profile, const BenchCli& cli) {
   const BenchEnv env;
   print_bench_header(std::string(figure) + ": preemption methods", env);
 
@@ -23,10 +23,11 @@ void run_preemption_figure(const char* figure, const char* bench_name,
   MetricSeries series(names, env.job_counts());
 
   for (std::size_t xi = 0; xi < env.job_counts().size(); ++xi) {
-    const auto jobs = make_workload(
-        static_cast<std::size_t>(env.job_counts()[xi]), env.scale, env.seed);
+    const auto jobs_n = static_cast<std::size_t>(env.job_counts()[xi]);
     for (std::size_t mi = 0; mi < methods.size(); ++mi)
-      series.set(mi, xi, run_policy(methods[mi], cluster, jobs));
+      series.set(mi, xi,
+                 run_standard_scenario(
+                     policy_scenario(methods[mi], profile, jobs_n, env)));
   }
 
   const std::string f = figure;
@@ -55,7 +56,7 @@ int main(int argc, char** argv) {
   const auto cli = dsp::bench::BenchCli::parse(argc, argv);
   if (!cli.ok) return 2;
   dsp::bench::run_preemption_figure("Fig 6", "fig6_preemption_cluster",
-                                    dsp::ClusterSpec::real_cluster(), cli);
+                                    dsp::ClusterProfile::kRealCluster, cli);
   return 0;
 }
 #endif

@@ -9,6 +9,6 @@ int main(int argc, char** argv) {
   const auto cli = dsp::bench::BenchCli::parse(argc, argv);
   if (!cli.ok) return 2;
   dsp::bench::run_preemption_figure("Fig 7", "fig7_preemption_ec2",
-                                    dsp::ClusterSpec::ec2(), cli);
+                                    dsp::ClusterProfile::kEc2, cli);
   return 0;
 }

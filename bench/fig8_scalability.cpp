@@ -16,12 +16,14 @@ void run(const BenchCli& cli) {
   MetricSeries series(testbeds, env.scalability_counts());
 
   for (std::size_t xi = 0; xi < env.scalability_counts().size(); ++xi) {
-    const auto jobs = make_workload(
-        static_cast<std::size_t>(env.scalability_counts()[xi]), env.scale,
-        env.seed);
+    const auto jobs_n =
+        static_cast<std::size_t>(env.scalability_counts()[xi]);
     series.set(0, xi,
-               run_scheduler(SchedKind::kDsp, ClusterSpec::real_cluster(), jobs));
-    series.set(1, xi, run_scheduler(SchedKind::kDsp, ClusterSpec::ec2(), jobs));
+               run_standard_scenario(scheduler_scenario(
+                   SchedKind::kDsp, ClusterProfile::kRealCluster, jobs_n, env)));
+    series.set(1, xi,
+               run_standard_scenario(scheduler_scenario(
+                   SchedKind::kDsp, ClusterProfile::kEc2, jobs_n, env)));
   }
 
   std::fputs(series.makespan_table("Fig 8(a): DSP makespan (s) vs #jobs")

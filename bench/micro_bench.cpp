@@ -5,9 +5,10 @@
 // Supports `--json <path>` (in addition to the standard benchmark
 // flags): per-benchmark real times are captured and written through
 // BenchJsonReport as scalars named `<bench>_<args>_ns`, which is how the
-// committed BENCH_hotpath.json baseline is produced:
-//   micro_bench --benchmark_filter='BM_Simplex|BM_Priority|BM_ComputeAll' \
-//               --json bench/BENCH_hotpath.json
+// committed BENCH_hotpath.json baseline is produced (same filter as the
+// ci.sh bench-diff stage): micro_bench --json bench/BENCH_hotpath.json
+// --benchmark_filter='BM_Simplex|BM_Milp|BM_PriorityComputeJob|
+// BM_ComputeAll|BM_EngineRun|BM_SweepGrid' (filter on one line).
 #include <benchmark/benchmark.h>
 
 #include <cstdio>
@@ -305,6 +306,47 @@ void BM_EndToEndSimulation(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_EndToEndSimulation)->Arg(20)->Unit(benchmark::kMillisecond);
+
+void BM_EngineRun(benchmark::State& state) {
+  // One scenario-layer run (the cost of a single dsp_sweep grid cell):
+  // spec -> cluster + workload + policy pair -> Engine::run.
+  for (auto _ : state) {
+    ScenarioSpec spec;
+    spec.name = "bm-engine-run";
+    spec.cluster.profile = ClusterProfile::kEc2;
+    spec.workload.job_count = static_cast<std::size_t>(state.range(0));
+    spec.workload.task_scale = 0.02;
+    spec.seed = 41;
+    benchmark::DoNotOptimize(run_standard_scenario(spec));
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_EngineRun)->Arg(20)->Unit(benchmark::kMillisecond);
+
+void BM_SweepGrid(benchmark::State& state) {
+  // A dsp_sweep-shaped grid fanned over the thread pool; Arg = workers.
+  // The 4-worker point against the 1-worker point is the scaling check.
+  std::vector<ScenarioSpec> grid;
+  for (PolicyKind policy : {PolicyKind::kDsp, PolicyKind::kDspNoPp,
+                            PolicyKind::kAmoeba, PolicyKind::kNatjam,
+                            PolicyKind::kSrpt, PolicyKind::kNone}) {
+    ScenarioSpec spec;
+    spec.name = std::string("bm-sweep-") + to_string(policy);
+    spec.cluster.profile = ClusterProfile::kEc2;
+    spec.workload.job_count = 20;
+    spec.workload.task_scale = 0.02;
+    spec.policy = policy;
+    spec.seed = 41;
+    grid.push_back(std::move(spec));
+  }
+  GridOptions options;
+  options.threads = static_cast<unsigned>(state.range(0));
+  for (auto _ : state)
+    benchmark::DoNotOptimize(run_standard_grid(grid, options));
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(grid.size()));
+}
+BENCHMARK(BM_SweepGrid)->Arg(1)->Arg(4)->Unit(benchmark::kMillisecond);
 
 // ---------------------------------------------------------------------
 // --json support

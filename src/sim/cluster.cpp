@@ -1,8 +1,57 @@
 #include "sim/cluster.h"
 
 #include <algorithm>
+#include <stdexcept>
 
 namespace dsp {
+
+ClusterSpec::ClusterSpec(std::vector<NodeSpec> nodes, double theta1,
+                         double theta2, double mem_mips_equiv)
+    : nodes_(std::move(nodes)),
+      theta1_(theta1),
+      theta2_(theta2),
+      mem_mips_equiv_(mem_mips_equiv) {
+  const std::string error = validate();
+  if (!error.empty()) throw std::invalid_argument(error);
+}
+
+std::string ClusterSpec::validate() const {
+  if (theta1_ < 0.0 || theta2_ < 0.0)
+    return "ClusterSpec: θ weights must be non-negative (theta1=" +
+           std::to_string(theta1_) + ", theta2=" + std::to_string(theta2_) +
+           "); Eq. (1) rates would turn negative";
+  if (mem_mips_equiv_ <= 0.0)
+    return "ClusterSpec: mem_mips_equiv=" + std::to_string(mem_mips_equiv_) +
+           " must be positive (MIPS-equivalent of 1 GB/s memory bandwidth)";
+  for (std::size_t k = 0; k < nodes_.size(); ++k) {
+    const NodeSpec& n = nodes_[k];
+    if (n.slots <= 0)
+      return "ClusterSpec: node " + std::to_string(k) + " has slots=" +
+             std::to_string(n.slots) +
+             "; every node needs at least one run slot";
+    if (n.cpu_mips <= 0.0)
+      return "ClusterSpec: node " + std::to_string(k) + " has cpu_mips=" +
+             std::to_string(n.cpu_mips) + "; the CPU rating must be positive";
+    if (n.mem_gb <= 0.0)
+      return "ClusterSpec: node " + std::to_string(k) + " has mem_gb=" +
+             std::to_string(n.mem_gb) + "; the memory size must be positive";
+    if (n.capacity.cpu <= 0.0 || n.capacity.mem <= 0.0 ||
+        n.capacity.disk <= 0.0 || n.capacity.bw <= 0.0)
+      return "ClusterSpec: node " + std::to_string(k) +
+             " has a non-positive capacity component (cpu=" +
+             std::to_string(n.capacity.cpu) +
+             ", mem=" + std::to_string(n.capacity.mem) +
+             ", disk=" + std::to_string(n.capacity.disk) +
+             ", bw=" + std::to_string(n.capacity.bw) +
+             "); no task demand could ever fit";
+    if (rate(k) <= 0.0)
+      return "ClusterSpec: node " + std::to_string(k) +
+             " has processing rate g(k)=" + std::to_string(rate(k)) +
+             " <= 0 (check theta1/theta2 against cpu_mips/mem_gb); tasks "
+             "placed there would never finish";
+  }
+  return {};
+}
 
 double ClusterSpec::mean_rate() const {
   if (nodes_.empty()) return 0.0;

@@ -32,12 +32,17 @@ struct NodeSpec {
 class ClusterSpec {
  public:
   ClusterSpec() = default;
+  /// Validates on construction: a malformed spec (zero/negative slot
+  /// counts, non-positive capacities, rates or θ weights that yield
+  /// g(k) <= 0) throws std::invalid_argument naming the offending node
+  /// and field. An invalid cluster would otherwise surface as NaN rates
+  /// or never-dispatched tasks deep inside a run.
   ClusterSpec(std::vector<NodeSpec> nodes, double theta1 = 0.5,
-              double theta2 = 0.5, double mem_mips_equiv = 100.0)
-      : nodes_(std::move(nodes)),
-        theta1_(theta1),
-        theta2_(theta2),
-        mem_mips_equiv_(mem_mips_equiv) {}
+              double theta2 = 0.5, double mem_mips_equiv = 100.0);
+
+  /// The constructor's validation as a query: returns an empty string for
+  /// a well-formed spec, else a message describing the first defect.
+  std::string validate() const;
 
   std::size_t size() const { return nodes_.size(); }
   const NodeSpec& node(std::size_t k) const { return nodes_.at(k); }

@@ -1,0 +1,35 @@
+#include "sim/cluster_state.h"
+
+#include <algorithm>
+#include <utility>
+
+namespace dsp {
+
+void ClusterState::init(const ClusterSpec& spec) {
+  spec_ = &spec;
+  nodes_.assign(spec.size(), Node{});
+  for (std::size_t k = 0; k < spec.size(); ++k) {
+    nodes_[k].available = spec.node(k).capacity;
+    nodes_[k].free_slots = spec.node(k).slots;
+  }
+}
+
+void ClusterState::insert_waiting(int node, Gid g, const TaskRuntime& tasks) {
+  Node& n = node_mut(node);
+  const auto key = std::make_pair(tasks.rt(g).planned_start, g);
+  auto it = std::lower_bound(
+      n.waiting.begin(), n.waiting.end(), key,
+      [&tasks](Gid a, const std::pair<SimTime, Gid>& k) {
+        return std::make_pair(tasks.rt(a).planned_start, a) < k;
+      });
+  n.waiting.insert(it, g);
+}
+
+void ClusterState::remove_waiting(int node, Gid g) {
+  Node& n = node_mut(node);
+  auto it = std::find(n.waiting.begin(), n.waiting.end(), g);
+  assert(it != n.waiting.end());
+  n.waiting.erase(it);
+}
+
+}  // namespace dsp

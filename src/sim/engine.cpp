@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cassert>
 #include <chrono>
+#include <cstdlib>
 
 #include "obs/metrics.h"
 #include "obs/profiler.h"
@@ -60,60 +61,32 @@ Engine::Engine(ClusterSpec cluster, JobSet jobs, Scheduler& scheduler,
       scheduler_(scheduler),
       preempt_(preempt),
       params_(params) {
-  // Flat indexing.
-  job_offset_.resize(jobs_.size());
-  Gid next = 0;
   for (std::size_t j = 0; j < jobs_.size(); ++j) {
     assert(jobs_[j].finalized() && "jobs must be finalized before simulation");
     // Engine addresses jobs by their position; keep ids consistent.
     jobs_[j].set_id(static_cast<JobId>(j));
-    job_offset_[j] = next;
-    next += static_cast<Gid>(jobs_[j].task_count());
   }
-  task_job_.resize(next);
-  task_index_.resize(next);
-  rt_.resize(next);
-  dispatch_excluded_.assign(next, 0);
-  launch_blocked_.assign(next, 0);
-  for (std::size_t j = 0; j < jobs_.size(); ++j) {
-    for (TaskIndex t = 0; t < jobs_[j].task_count(); ++t) {
-      const Gid g = job_offset_[j] + t;
-      task_job_[g] = static_cast<JobId>(j);
-      task_index_[g] = t;
-      rt_[g].unfinished_parents =
-          static_cast<std::uint32_t>(jobs_[j].graph().parents(t).size());
-    }
-  }
+  tasks_.init(jobs_);
+  dispatch_excluded_.assign(tasks_.task_count(), 0);
+  nodes_.init(cluster_);
 
-  nodes_.resize(cluster_.size());
-  for (std::size_t k = 0; k < cluster_.size(); ++k) {
-    nodes_[k].available = cluster_.node(k).capacity;
-    nodes_[k].free_slots = cluster_.node(k).slots;
-  }
-
-  job_rt_.resize(jobs_.size());
-  prio_cache_.resize(jobs_.size());
   for (std::size_t j = 0; j < jobs_.size(); ++j) {
-    job_rt_[j].unfinished_tasks =
-        static_cast<std::uint32_t>(jobs_[j].task_count());
-    push_event(jobs_[j].arrival(), EventKind::kArrival, static_cast<Gid>(j), 0);
+    push_event(jobs_[j].arrival(), EventCalendar::Kind::kArrival,
+               static_cast<Gid>(j), 0);
     first_arrival_ = std::min(first_arrival_, jobs_[j].arrival());
   }
   if (jobs_.empty()) first_arrival_ = 0;
 
   // Period ticks start with the first arrival; epoch ticks only when an
   // online policy is installed.
-  push_event(first_arrival_, EventKind::kPeriod, kInvalidGid, 0);
+  push_event(first_arrival_, EventCalendar::Kind::kPeriod, kInvalidGid, 0);
   if (preempt_)
-    push_event(first_arrival_ + params_.epoch, EventKind::kEpoch, kInvalidGid, 0);
-}
-
-void Engine::push_event(SimTime t, EventKind kind, Gid gid, std::uint32_t token) {
-  events_.push(Event{t, event_seq_++, kind, gid, token});
+    push_event(first_arrival_ + params_.epoch, EventCalendar::Kind::kEpoch,
+               kInvalidGid, 0);
 }
 
 double Engine::remaining_mi(Gid g) const {
-  const TaskRt& r = rt_[g];
+  const TaskRt& r = tasks_.rt(g);
   double executed = r.executed_mi;
   // A running task's progress advances continuously; account for the
   // portion executed since its last dispatch.
@@ -126,7 +99,7 @@ double Engine::remaining_mi(Gid g) const {
 }
 
 SimTime Engine::remaining_time(Gid g) const {
-  const int node = rt_[g].node;
+  const int node = tasks_.rt(g).node;
   const double rate = node >= 0 ? node_rate(node) : cluster_.mean_rate();
   // A fully-degraded node (speed factor 0) or an empty cluster offers no
   // progress: remaining time saturates instead of from_seconds(inf).
@@ -135,30 +108,15 @@ SimTime Engine::remaining_time(Gid g) const {
 }
 
 SimTime Engine::waiting_time(Gid g) const {
-  const TaskRt& r = rt_[g];
+  const TaskRt& r = tasks_.rt(g);
   if ((r.state == TaskState::kWaiting || r.state == TaskState::kSuspended) &&
       r.waiting_since != kNoTime)
     return now_ - r.waiting_since;
   return 0;
 }
 
-const std::vector<Gid>& Engine::live_reverse_topo(JobId j) const {
-  const JobPrioCache& c = prio_cache_[j];
-  if (!c.topo_valid) {
-    c.live_rtopo.clear();
-    const auto topo = jobs_[j].graph().topo_order();
-    const Gid base = job_offset_[j];
-    for (auto it = topo.rbegin(); it != topo.rend(); ++it) {
-      const Gid g = base + *it;
-      if (rt_[g].state != TaskState::kFinished) c.live_rtopo.push_back(g);
-    }
-    c.topo_valid = true;
-  }
-  return c.live_rtopo;
-}
-
 Engine::LeafInputs Engine::leaf_inputs(Gid g) const {
-  const TaskRt& r = rt_[g];
+  const TaskRt& r = tasks_.rt(g);
   const Task& info = task_info(g);
   double executed = r.executed_mi;
   double wait_s = r.total_wait_s;
@@ -184,15 +142,25 @@ Engine::LeafInputs Engine::leaf_inputs(Gid g) const {
 }
 
 bool Engine::depends_on(Gid dependent, Gid precedent) const {
-  assert(dependent < task_job_.size() && precedent < task_job_.size());
-  if (task_job_[dependent] != task_job_[precedent]) return false;
-  return jobs_[task_job_[dependent]].graph().depends_on(task_index_[dependent],
-                                                        task_index_[precedent]);
+  const JobId j = tasks_.job_of(dependent);
+  if (j != tasks_.job_of(precedent)) return false;
+  assert(j < jobs_.size());
+  return jobs_[j].graph().depends_on(tasks_.index_of(dependent),
+                                     tasks_.index_of(precedent));
 }
 
 RunMetrics Engine::run() {
-  assert(!ran_ && "Engine::run may be called once");
-  ran_ = true;
+  if (lifecycle_ != Lifecycle::kIdle) {
+    // Re-running would replay arrivals against consumed calendar/runtime
+    // state and silently corrupt every metric. Fail loudly instead.
+    DSP_ERROR(
+        "Engine::run() called on a %s engine: an Engine instance is "
+        "single-shot. Construct a fresh Engine (or use run_scenario) for "
+        "each run.",
+        lifecycle_ == Lifecycle::kRunning ? "still-running" : "finished");
+    std::abort();
+  }
+  lifecycle_ = Lifecycle::kRunning;
   if (events_log_ == nullptr) {
     // DSP_EVENT_LOG turns the recorder on for any run without code
     // changes (examples, benches, the report-smoke CI stage).
@@ -201,15 +169,14 @@ RunMetrics Engine::run() {
   }
   emit_event({.kind = obs::EventKind::kRunInfo,
               .job = static_cast<std::uint32_t>(jobs_.size()),
-              .task = static_cast<Gid>(rt_.size()),
+              .task = static_cast<Gid>(tasks_.task_count()),
               .a = static_cast<double>(cluster_.size()),
               .b = static_cast<double>(cluster_.total_slots())});
   const auto wall_start = std::chrono::steady_clock::now();
   std::uint64_t events_processed = 0;
 
-  while (!events_.empty()) {
-    const Event e = events_.top();
-    events_.pop();
+  while (!calendar_.empty()) {
+    const EventCalendar::Entry e = calendar_.pop();
     if (e.time > params_.horizon) {
       DSP_WARN("engine: horizon %lld us exceeded; aborting with %zu/%zu jobs done",
                static_cast<long long>(params_.horizon), finished_jobs_,
@@ -220,12 +187,16 @@ RunMetrics Engine::run() {
     now_ = e.time;
     ++events_processed;
     switch (e.kind) {
-      case EventKind::kArrival: on_arrival(static_cast<JobId>(e.gid)); break;
-      case EventKind::kPeriod: on_period(); break;
-      case EventKind::kEpoch: on_epoch(); break;
-      case EventKind::kFinish: on_finish(e.gid, e.token); break;
-      case EventKind::kHoardTimeout: on_hoard_timeout(e.gid, e.token); break;
-      case EventKind::kNodeEvent: on_node_event(e.gid); break;
+      case EventCalendar::Kind::kArrival:
+        on_arrival(static_cast<JobId>(e.gid));
+        break;
+      case EventCalendar::Kind::kPeriod: on_period(); break;
+      case EventCalendar::Kind::kEpoch: on_epoch(); break;
+      case EventCalendar::Kind::kFinish: on_finish(e.gid, e.token); break;
+      case EventCalendar::Kind::kHoardTimeout:
+        on_hoard_timeout(e.gid, e.token);
+        break;
+      case EventCalendar::Kind::kNodeEvent: on_node_event(e.gid); break;
     }
     if (all_jobs_finished()) break;
   }
@@ -236,7 +207,8 @@ RunMetrics Engine::run() {
 
   metrics_.makespan = std::max<SimTime>(0, last_finish_ - first_arrival_);
   double busy = 0.0;
-  for (const auto& n : nodes_) busy += n.busy_us;
+  for (std::size_t k = 0; k < nodes_.size(); ++k)
+    busy += nodes_.node(static_cast<int>(k)).busy_us;
   const double slot_time = static_cast<double>(metrics_.makespan) *
                            static_cast<double>(cluster_.total_slots());
   metrics_.slot_utilization = slot_time > 0.0 ? busy / slot_time : 0.0;
@@ -246,6 +218,7 @@ RunMetrics Engine::run() {
   DSP_COUNT_N("engine.events", events_processed);
   DSP_COUNT("engine.runs");
   DSP_OBSERVE("engine.run_s", metrics_.sim_wall_s);
+  lifecycle_ = Lifecycle::kDone;
   return metrics_;
 }
 
@@ -279,7 +252,7 @@ void Engine::record_preempt_decision(obs::PreemptDecision d) {
                   (static_cast<std::uint8_t>(d.outcome)
                    << obs::kEventFlagOutcomeShift)),
               .job = d.candidate == kInvalidGid ? ~std::uint32_t{0}
-                                                : task_job_[d.candidate],
+                                                : tasks_.job_of(d.candidate),
               .task = d.candidate,
               .task2 = d.victim,
               .node = n16(d.node),
@@ -295,7 +268,8 @@ void Engine::on_arrival(JobId job) {
 }
 
 bool Engine::add_job_dependency(JobId predecessor, JobId successor) {
-  assert(!ran_ && "declare job dependencies before run()");
+  assert(lifecycle_ == Lifecycle::kIdle &&
+         "declare job dependencies before run()");
   if (predecessor >= jobs_.size() || successor >= jobs_.size() ||
       predecessor == successor) {
     DSP_ERROR("invalid job dependency %u -> %u", predecessor, successor);
@@ -315,33 +289,34 @@ bool Engine::add_job_dependency(JobId predecessor, JobId successor) {
                predecessor, successor);
       return false;
     }
-    for (JobId s : job_rt_[j].successor_jobs)
+    for (JobId s : tasks_.job_rt(j).successor_jobs)
       if (!seen[s]) {
         seen[s] = 1;
         stack.push_back(s);
       }
   }
-  job_rt_[predecessor].successor_jobs.push_back(successor);
-  ++job_rt_[successor].pred_jobs_remaining;
+  tasks_.job_rt(predecessor).successor_jobs.push_back(successor);
+  ++tasks_.job_rt(successor).pred_jobs_remaining;
   return true;
 }
 
 void Engine::set_failure_plan(const FailurePlan& plan) {
-  assert(!ran_ && "install the failure plan before run()");
+  assert(lifecycle_ == Lifecycle::kIdle &&
+         "install the failure plan before run()");
   for (const NodeEvent& event : plan.sorted_events()) {
     if (event.node < 0 || static_cast<std::size_t>(event.node) >= cluster_.size()) {
       DSP_ERROR("failure plan references unknown node %d", event.node);
       continue;
     }
     failure_events_.push_back(event);
-    push_event(event.at, EventKind::kNodeEvent,
+    push_event(event.at, EventCalendar::Kind::kNodeEvent,
                static_cast<Gid>(failure_events_.size() - 1), 0);
   }
 }
 
 void Engine::on_node_event(std::size_t index) {
   const NodeEvent& event = failure_events_[index];
-  NodeRt& n = nodes_[static_cast<std::size_t>(event.node)];
+  ClusterState::Node& n = nodes_.node_mut(event.node);
   switch (event.kind) {
     case NodeEvent::Kind::kFail:
       if (n.up) fail_node(event.node);
@@ -370,13 +345,13 @@ void Engine::on_node_event(std::size_t index) {
   emit_event({.kind = recorder_event_kind(event.kind),
               .node = n16(event.node),
               .a = n.speed_factor});
-  touch_priority_all();
+  tasks_.touch_priority_all();
 }
 
 void Engine::rebase_running(int node) {
-  NodeRt& n = nodes_[static_cast<std::size_t>(node)];
+  ClusterState::Node& n = nodes_.node_mut(node);
   for (Gid g : n.running) {
-    TaskRt& r = rt_[g];
+    TaskRt& r = tasks_.rt(g);
     if (r.state != TaskState::kRunning) continue;  // hoarders have no event
     // Bank progress at the *current* effective rate, then re-arm the
     // finish event for the remaining work.
@@ -393,12 +368,12 @@ void Engine::rebase_running(int node) {
     const double remaining =
         std::max(0.0, task_info(g).size_mi - r.executed_mi);
     push_event(now_ + overhead_left + from_seconds(remaining / node_rate(node)),
-               EventKind::kFinish, g, r.token);
+               EventCalendar::Kind::kFinish, g, r.token);
   }
 }
 
 void Engine::fail_node(int node) {
-  NodeRt& n = nodes_[static_cast<std::size_t>(node)];
+  ClusterState::Node& n = nodes_.node_mut(node);
   ++metrics_.node_failures;
   n.up = false;
   if (observer_) observer_->on_node_failure(now_, node, /*failed=*/true);
@@ -407,7 +382,7 @@ void Engine::fail_node(int node) {
   // it had checkpointed; otherwise everything re-executes.
   const std::vector<Gid> occupants = n.running;
   for (Gid g : occupants) {
-    TaskRt& r = rt_[g];
+    TaskRt& r = tasks_.rt(g);
     ++metrics_.tasks_killed_by_failure;
     if (r.state == TaskState::kRunning) {
       const SimTime elapsed = now_ - r.last_dispatch;
@@ -430,13 +405,13 @@ void Engine::fail_node(int node) {
                   .flags = params_.checkpoints_survive_failure
                                ? obs::kEventFlagKeptProgress
                                : std::uint8_t{0},
-                  .job = task_job_[g],
+                  .job = tasks_.job_of(g),
                   .task = g,
                   .node = n16(node)});
     } else if (r.state == TaskState::kHoarding) {
       if (observer_) observer_->on_hoard_evict(now_, g, node);
       emit_event({.kind = obs::EventKind::kHoardEvict,
-                  .job = task_job_[g],
+                  .job = tasks_.job_of(g),
                   .task = g,
                   .node = n16(node)});
     }
@@ -455,7 +430,7 @@ void Engine::fail_node(int node) {
 }
 
 void Engine::recover_node(int node) {
-  NodeRt& n = nodes_[static_cast<std::size_t>(node)];
+  ClusterState::Node& n = nodes_.node_mut(node);
   n.up = true;
   n.speed_factor = 1.0;
   if (observer_) observer_->on_node_failure(now_, node, /*failed=*/false);
@@ -463,40 +438,34 @@ void Engine::recover_node(int node) {
 }
 
 void Engine::replace_waiting_task(Gid g) {
-  TaskRt& r = rt_[g];
+  TaskRt& r = tasks_.rt(g);
   const int old_node = r.node;
   int best = -1;
   double best_backlog = 0.0;
   for (std::size_t k = 0; k < cluster_.size(); ++k) {
-    if (!nodes_[k].up || static_cast<int>(k) == old_node) continue;
+    const int kn = static_cast<int>(k);
+    if (!nodes_.node(kn).up || kn == old_node) continue;
     if (!cluster_.node(k).capacity.fits(task_info(g).demand)) continue;
-    if (best < 0 || nodes_[k].backlog_mi < best_backlog) {
-      best = static_cast<int>(k);
-      best_backlog = nodes_[k].backlog_mi;
+    if (best < 0 || nodes_.node(kn).backlog_mi < best_backlog) {
+      best = kn;
+      best_backlog = nodes_.node(kn).backlog_mi;
     }
   }
   if (best < 0) return;  // no live node fits: wait for recovery
-  remove_waiting(old_node, g);
-  nodes_[static_cast<std::size_t>(old_node)].backlog_mi =
-      std::max(0.0, nodes_[static_cast<std::size_t>(old_node)].backlog_mi -
-                        task_info(g).size_mi);
+  nodes_.remove_waiting(old_node, g);
+  ClusterState::Node& old_n = nodes_.node_mut(old_node);
+  old_n.backlog_mi = std::max(0.0, old_n.backlog_mi - task_info(g).size_mi);
   r.node = best;
-  touch_priority(g);
-  nodes_[static_cast<std::size_t>(best)].backlog_mi += task_info(g).size_mi;
-  const auto key = std::make_pair(r.planned_start, g);
-  auto& waiting = nodes_[static_cast<std::size_t>(best)].waiting;
-  auto it = std::lower_bound(waiting.begin(), waiting.end(), key,
-                             [this](Gid a, const std::pair<SimTime, Gid>& k) {
-                               return std::make_pair(rt_[a].planned_start, a) < k;
-                             });
-  waiting.insert(it, g);
+  tasks_.touch_priority(g);
+  nodes_.node_mut(best).backlog_mi += task_info(g).size_mi;
+  nodes_.insert_waiting(best, g, tasks_);
   emit_event({.kind = obs::EventKind::kTaskMigrate,
               .flags = obs::kEventFlagFailover,
-              .job = task_job_[g],
+              .job = tasks_.job_of(g),
               .task = g,
               .node = n16(old_node),
               .node2 = n16(best)});
-  if (nodes_[static_cast<std::size_t>(best)].free_slots > 0) fill_slots(best);
+  if (nodes_.node(best).free_slots > 0) fill_slots(best);
 }
 
 void Engine::on_period() {
@@ -517,7 +486,8 @@ void Engine::on_period() {
     fill_all_slots();
   }
   if (!all_jobs_finished())
-    push_event(now_ + params_.period, EventKind::kPeriod, kInvalidGid, 0);
+    push_event(now_ + params_.period, EventCalendar::Kind::kPeriod,
+               kInvalidGid, 0);
 }
 
 void Engine::on_epoch() {
@@ -534,24 +504,25 @@ void Engine::on_epoch() {
     }
     fill_all_slots();
     if (!all_jobs_finished())
-      push_event(now_ + params_.epoch, EventKind::kEpoch, kInvalidGid, 0);
+      push_event(now_ + params_.epoch, EventCalendar::Kind::kEpoch,
+                 kInvalidGid, 0);
   }
 }
 
 void Engine::apply_placements(const std::vector<TaskPlacement>& placements,
                               const std::vector<JobId>& pending) {
   // Mark expected tasks.
-  for (JobId j : pending) job_rt_[j].scheduled = true;
+  for (JobId j : pending) tasks_.job_rt(j).scheduled = true;
 
-  std::vector<std::uint8_t> placed(rt_.size(), 0);
+  std::vector<std::uint8_t> placed(tasks_.task_count(), 0);
   for (const auto& p : placements) {
-    if (p.task >= rt_.size() || p.node < 0 ||
+    if (p.task >= tasks_.task_count() || p.node < 0 ||
         static_cast<std::size_t>(p.node) >= cluster_.size()) {
       DSP_ERROR("scheduler %s produced an invalid placement (task %u node %d)",
                 scheduler_.name(), p.task, p.node);
       continue;
     }
-    if (rt_[p.task].state != TaskState::kUnscheduled || placed[p.task]) {
+    if (tasks_.rt(p.task).state != TaskState::kUnscheduled || placed[p.task]) {
       DSP_ERROR("scheduler %s placed task %u twice", scheduler_.name(), p.task);
       continue;
     }
@@ -561,14 +532,14 @@ void Engine::apply_placements(const std::vector<TaskPlacement>& placements,
                p.task, p.node);
       continue;  // falls through to the fallback pass below
     }
-    if (!nodes_[static_cast<std::size_t>(p.node)].up) {
+    if (!nodes_.node(p.node).up) {
       DSP_DEBUG("placement of task %u targets down node %d; re-placing",
                 p.task, p.node);
       continue;  // fallback pass places it on a live node
     }
     placed[p.task] = 1;
-    rt_[p.task].node = p.node;
-    rt_[p.task].planned_start = p.planned_start;
+    tasks_.rt(p.task).node = p.node;
+    tasks_.rt(p.task).planned_start = p.planned_start;
     enqueue_waiting(p.node, p.task);
   }
 
@@ -578,13 +549,13 @@ void Engine::apply_placements(const std::vector<TaskPlacement>& placements,
   for (JobId j : pending) {
     for (TaskIndex t = 0; t < jobs_[j].task_count(); ++t) {
       const Gid g = gid(j, t);
-      if (placed[g] || rt_[g].state != TaskState::kUnscheduled) continue;
+      if (placed[g] || tasks_.rt(g).state != TaskState::kUnscheduled) continue;
       int best = -1;
       double best_backlog = 0.0;
       for (std::size_t k = 0; k < cluster_.size(); ++k) {
-        if (!nodes_[k].up) continue;
+        if (!nodes_.node(static_cast<int>(k)).up) continue;
         if (!cluster_.node(k).capacity.fits(task_info(g).demand)) continue;
-        const double backlog = nodes_[k].backlog_mi;
+        const double backlog = nodes_.node(static_cast<int>(k)).backlog_mi;
         if (best < 0 || backlog < best_backlog) {
           best = static_cast<int>(k);
           best_backlog = backlog;
@@ -595,51 +566,40 @@ void Engine::apply_placements(const std::vector<TaskPlacement>& placements,
         continue;
       }
       DSP_DEBUG("fallback placement: task %u -> node %d", g, best);
-      rt_[g].node = best;
-      rt_[g].planned_start = now_;
+      tasks_.rt(g).node = best;
+      tasks_.rt(g).planned_start = now_;
       enqueue_waiting(best, g);
     }
   }
 }
 
 void Engine::enqueue_waiting(int node, Gid g) {
-  TaskRt& r = rt_[g];
-  NodeRt& n = nodes_[static_cast<std::size_t>(node)];
+  TaskRt& r = tasks_.rt(g);
   const bool first_entry = r.state == TaskState::kUnscheduled;
   if (first_entry) {
     r.state = TaskState::kWaiting;
-    n.backlog_mi += task_info(g).size_mi;
+    nodes_.node_mut(node).backlog_mi += task_info(g).size_mi;
   }
   emit_event({.kind = obs::EventKind::kTaskEnqueue,
               .flags = first_entry ? std::uint8_t{0} : obs::kEventFlagRequeue,
-              .job = task_job_[g],
+              .job = tasks_.job_of(g),
               .task = g,
               .node = n16(node)});
   r.waiting_since = now_;
-  touch_priority(g);
-  const auto key = std::make_pair(r.planned_start, g);
-  auto it = std::lower_bound(n.waiting.begin(), n.waiting.end(), key,
-                             [this](Gid a, const std::pair<SimTime, Gid>& k) {
-                               return std::make_pair(rt_[a].planned_start, a) < k;
-                             });
-  n.waiting.insert(it, g);
-}
-
-void Engine::remove_waiting(int node, Gid g) {
-  NodeRt& n = nodes_[static_cast<std::size_t>(node)];
-  auto it = std::find(n.waiting.begin(), n.waiting.end(), g);
-  assert(it != n.waiting.end());
-  n.waiting.erase(it);
+  tasks_.touch_priority(g);
+  nodes_.insert_waiting(node, g, tasks_);
 }
 
 void Engine::fill_all_slots() {
-  for (std::size_t k = 0; k < nodes_.size(); ++k)
-    if (nodes_[k].up && nodes_[k].free_slots > 0 && !nodes_[k].waiting.empty())
+  for (std::size_t k = 0; k < nodes_.size(); ++k) {
+    const ClusterState::Node& n = nodes_.node(static_cast<int>(k));
+    if (n.up && n.free_slots > 0 && !n.waiting.empty())
       fill_slots(static_cast<int>(k));
+  }
 }
 
 void Engine::fill_slots(int node) {
-  NodeRt& n = nodes_[static_cast<std::size_t>(node)];
+  ClusterState::Node& n = nodes_.node_mut(node);
   if (!n.up) return;
   std::vector<Gid> touched;
   // A dependency-blind policy can nominate unready task after unready task.
@@ -650,9 +610,9 @@ void Engine::fill_slots(int node) {
   while (n.free_slots > 0 && !n.waiting.empty()) {
     const Gid g = scheduler_.select_next(node, *this, dispatch_excluded_);
     if (g == kInvalidGid) break;
-    if (g >= rt_.size() || rt_[g].node != node ||
-        (rt_[g].state != TaskState::kWaiting &&
-         rt_[g].state != TaskState::kSuspended)) {
+    if (g >= tasks_.task_count() || tasks_.rt(g).node != node ||
+        (tasks_.rt(g).state != TaskState::kWaiting &&
+         tasks_.rt(g).state != TaskState::kSuspended)) {
       DSP_ERROR("scheduler %s selected an invalid task %u for dispatch",
                 scheduler_.name(), g);
       break;
@@ -666,11 +626,11 @@ void Engine::fill_slots(int node) {
       ++metrics_.disorders;
       if (scheduler_.hoards_slots() &&
           n.available.fits(task_info(g).demand)) {
-        remove_waiting(node, g);
+        nodes_.remove_waiting(node, g);
         start_hoarding(node, g);
         continue;
       }
-      launch_blocked_[g] = 1;
+      tasks_.set_launch_blocked(g);
       dispatch_excluded_[g] = 1;
       touched.push_back(g);
       if (--disorder_budget <= 0) break;
@@ -682,22 +642,22 @@ void Engine::fill_slots(int node) {
       continue;
     }
     SimTime overhead = 0;
-    if (rt_[g].state == TaskState::kSuspended) {
+    if (tasks_.rt(g).state == TaskState::kSuspended) {
       const bool checkpointed =
           !preempt_ ||
           preempt_->checkpoint_mode() == CheckpointMode::kCheckpoint;
       overhead = checkpointed ? params_.recovery + params_.ctx_switch
                               : params_.ctx_switch;
     }
-    remove_waiting(node, g);
+    nodes_.remove_waiting(node, g);
     start_task(node, g, overhead);
   }
   for (Gid g : touched) dispatch_excluded_[g] = 0;
 }
 
 void Engine::start_hoarding(int node, Gid g) {
-  TaskRt& r = rt_[g];
-  NodeRt& n = nodes_[static_cast<std::size_t>(node)];
+  TaskRt& r = tasks_.rt(g);
+  ClusterState::Node& n = nodes_.node_mut(node);
   assert(n.free_slots > 0 && !is_ready(g));
   if (r.waiting_since != kNoTime) {
     r.total_wait_s += to_seconds(now_ - r.waiting_since);
@@ -705,20 +665,21 @@ void Engine::start_hoarding(int node, Gid g) {
   }
   r.state = TaskState::kHoarding;
   ++r.token;
-  touch_priority(g);
+  tasks_.touch_priority(g);
   n.available -= task_info(g).demand;
   --n.free_slots;
   n.running.push_back(g);
-  push_event(now_ + params_.hoard_timeout, EventKind::kHoardTimeout, g, r.token);
+  push_event(now_ + params_.hoard_timeout, EventCalendar::Kind::kHoardTimeout,
+             g, r.token);
   if (observer_) observer_->on_hoard_start(now_, g, node);
   emit_event({.kind = obs::EventKind::kHoardStart,
-              .job = task_job_[g],
+              .job = tasks_.job_of(g),
               .task = g,
               .node = n16(node)});
 }
 
 void Engine::activate_hoarding(Gid g) {
-  TaskRt& r = rt_[g];
+  TaskRt& r = tasks_.rt(g);
   assert(r.state == TaskState::kHoarding && is_ready(g));
   // The slot and resources are already held; begin real execution now.
   // Hoarded time is deliberately NOT counted as busy slot time. No input
@@ -729,52 +690,47 @@ void Engine::activate_hoarding(Gid g) {
   r.last_dispatch = now_;
   r.current_overhead = 0;
   ++r.token;
-  touch_priority(g);
+  tasks_.touch_priority(g);
   const double remaining = std::max(0.0, task_info(g).size_mi - r.executed_mi);
   const SimTime run_time =
       from_seconds(remaining / node_rate(r.node));
-  push_event(now_ + run_time, EventKind::kFinish, g, r.token);
+  push_event(now_ + run_time, EventCalendar::Kind::kFinish, g, r.token);
   if (observer_) observer_->on_task_start(now_, g, r.node, /*overhead=*/0);
   emit_event({.kind = obs::EventKind::kTaskDispatch,
               .flags = obs::kEventFlagHoardActivate,
-              .job = task_job_[g],
+              .job = tasks_.job_of(g),
               .task = g,
               .node = n16(r.node)});
 }
 
 void Engine::on_hoard_timeout(Gid g, std::uint32_t token) {
-  TaskRt& r = rt_[g];
+  TaskRt& r = tasks_.rt(g);
   if (r.token != token || r.state != TaskState::kHoarding) return;  // stale
   // Evict: the executor gives up on the missing inputs and requeues the
   // task, freeing the slot it was wasting.
   const int node = r.node;
-  NodeRt& n = nodes_[static_cast<std::size_t>(node)];
+  ClusterState::Node& n = nodes_.node_mut(node);
   ++r.token;
   r.state = TaskState::kWaiting;
   n.available += task_info(g).demand;
   ++n.free_slots;
   n.running.erase(std::find(n.running.begin(), n.running.end(), g));
-  launch_blocked_[g] = 1;  // do not re-launch until inputs appear
+  tasks_.set_launch_blocked(g);  // do not re-launch until inputs appear
   // Re-insert into the waiting queue; state must not look unscheduled.
-  const auto key = std::make_pair(r.planned_start, g);
-  auto it = std::lower_bound(n.waiting.begin(), n.waiting.end(), key,
-                             [this](Gid a, const std::pair<SimTime, Gid>& k) {
-                               return std::make_pair(rt_[a].planned_start, a) < k;
-                             });
-  n.waiting.insert(it, g);
+  nodes_.insert_waiting(node, g, tasks_);
   r.waiting_since = now_;
-  touch_priority(g);
+  tasks_.touch_priority(g);
   if (observer_) observer_->on_hoard_evict(now_, g, node);
   emit_event({.kind = obs::EventKind::kHoardEvict,
-              .job = task_job_[g],
+              .job = tasks_.job_of(g),
               .task = g,
               .node = n16(node)});
   fill_slots(node);
 }
 
 void Engine::start_task(int node, Gid g, SimTime resume_overhead) {
-  TaskRt& r = rt_[g];
-  NodeRt& n = nodes_[static_cast<std::size_t>(node)];
+  TaskRt& r = tasks_.rt(g);
+  ClusterState::Node& n = nodes_.node_mut(node);
   assert(n.free_slots > 0);
   assert(r.state == TaskState::kWaiting || r.state == TaskState::kSuspended);
 
@@ -797,7 +753,7 @@ void Engine::start_task(int node, Gid g, SimTime resume_overhead) {
   r.last_dispatch = now_;
   r.current_overhead = resume_overhead;
   ++r.token;
-  touch_priority(g);
+  tasks_.touch_priority(g);
   metrics_.overhead_s += to_seconds(resume_overhead);
 
   n.available -= task_info(g).demand;
@@ -806,18 +762,19 @@ void Engine::start_task(int node, Gid g, SimTime resume_overhead) {
 
   const double remaining = std::max(0.0, task_info(g).size_mi - r.executed_mi);
   const SimTime run_time = from_seconds(remaining / node_rate(node));
-  push_event(now_ + resume_overhead + run_time, EventKind::kFinish, g, r.token);
+  push_event(now_ + resume_overhead + run_time, EventCalendar::Kind::kFinish,
+             g, r.token);
   if (observer_) observer_->on_task_start(now_, g, node, resume_overhead);
   emit_event({.kind = obs::EventKind::kTaskDispatch,
-              .job = task_job_[g],
+              .job = tasks_.job_of(g),
               .task = g,
               .node = n16(node),
               .a = static_cast<double>(resume_overhead)});
 }
 
 void Engine::suspend_task(int node, Gid g) {
-  TaskRt& r = rt_[g];
-  NodeRt& n = nodes_[static_cast<std::size_t>(node)];
+  TaskRt& r = tasks_.rt(g);
+  ClusterState::Node& n = nodes_.node_mut(node);
   assert(r.state == TaskState::kRunning && r.node == node);
 
   // Accrue progress: time on slot minus the dispatch overhead window.
@@ -845,7 +802,7 @@ void Engine::suspend_task(int node, Gid g) {
   emit_event({.kind = obs::EventKind::kTaskPreempt,
               .flags = checkpointed ? obs::kEventFlagKeptProgress
                                     : std::uint8_t{0},
-              .job = task_job_[g],
+              .job = tasks_.job_of(g),
               .task = g,
               .node = n16(node)});
   enqueue_waiting(node, g);
@@ -853,17 +810,18 @@ void Engine::suspend_task(int node, Gid g) {
 }
 
 PreemptResult Engine::try_preempt(int node, Gid victim, Gid incoming) {
-  assert(node >= 0 && static_cast<std::size_t>(node) < nodes_.size());
-  NodeRt& n = nodes_[static_cast<std::size_t>(node)];
-  if (rt_[victim].state != TaskState::kRunning || rt_[victim].node != node)
+  assert(nodes_.in_range(node));
+  const ClusterState::Node& n = nodes_.node(node);
+  if (tasks_.rt(victim).state != TaskState::kRunning ||
+      tasks_.rt(victim).node != node)
     return PreemptResult::kVictimNotRunning;
-  const TaskState in_state = rt_[incoming].state;
+  const TaskState in_state = tasks_.rt(incoming).state;
   if ((in_state != TaskState::kWaiting && in_state != TaskState::kSuspended) ||
-      rt_[incoming].node != node)
+      tasks_.rt(incoming).node != node)
     return PreemptResult::kIncomingNotWaiting;
   if (!is_ready(incoming)) {
     ++metrics_.disorders;
-    launch_blocked_[incoming] = 1;
+    tasks_.set_launch_blocked(incoming);
     return PreemptResult::kIncomingNotReady;
   }
   // Resource check with the victim's reservation returned.
@@ -880,13 +838,13 @@ PreemptResult Engine::try_preempt(int node, Gid victim, Gid incoming) {
         !preempt_ || preempt_->checkpoint_mode() == CheckpointMode::kCheckpoint;
     if (checkpointed) overhead += params_.recovery;
   }
-  remove_waiting(node, incoming);
+  nodes_.remove_waiting(node, incoming);
   start_task(node, incoming, overhead);
   return PreemptResult::kOk;
 }
 
 bool Engine::evict_running(Gid g) {
-  const TaskRt& r = rt_[g];
+  const TaskRt& r = tasks_.rt(g);
   if (r.state != TaskState::kRunning) return false;
   suspend_task(r.node, g);
   ++metrics_.preemptions;
@@ -894,33 +852,25 @@ bool Engine::evict_running(Gid g) {
 }
 
 bool Engine::migrate_task(Gid g, int to_node) {
-  TaskRt& r = rt_[g];
+  TaskRt& r = tasks_.rt(g);
   if (r.state != TaskState::kWaiting && r.state != TaskState::kSuspended)
     return false;
-  if (to_node < 0 || static_cast<std::size_t>(to_node) >= nodes_.size() ||
-      to_node == r.node)
-    return false;
-  NodeRt& dst = nodes_[static_cast<std::size_t>(to_node)];
+  if (!nodes_.in_range(to_node) || to_node == r.node) return false;
+  ClusterState::Node& dst = nodes_.node_mut(to_node);
   if (!dst.up || !cluster_.node(static_cast<std::size_t>(to_node))
                       .capacity.fits(task_info(g).demand))
     return false;
 
   const int from = r.node;
-  remove_waiting(from, g);
-  nodes_[static_cast<std::size_t>(from)].backlog_mi = std::max(
-      0.0,
-      nodes_[static_cast<std::size_t>(from)].backlog_mi - task_info(g).size_mi);
+  nodes_.remove_waiting(from, g);
+  ClusterState::Node& src = nodes_.node_mut(from);
+  src.backlog_mi = std::max(0.0, src.backlog_mi - task_info(g).size_mi);
   r.node = to_node;
-  touch_priority(g);
+  tasks_.touch_priority(g);
   dst.backlog_mi += task_info(g).size_mi;
-  const auto key = std::make_pair(r.planned_start, g);
-  auto it = std::lower_bound(dst.waiting.begin(), dst.waiting.end(), key,
-                             [this](Gid a, const std::pair<SimTime, Gid>& k) {
-                               return std::make_pair(rt_[a].planned_start, a) < k;
-                             });
-  dst.waiting.insert(it, g);
+  nodes_.insert_waiting(to_node, g, tasks_);
   emit_event({.kind = obs::EventKind::kTaskMigrate,
-              .job = task_job_[g],
+              .job = tasks_.job_of(g),
               .task = g,
               .node = n16(from),
               .node2 = n16(to_node)});
@@ -929,16 +879,16 @@ bool Engine::migrate_task(Gid g, int to_node) {
 }
 
 void Engine::on_finish(Gid g, std::uint32_t token) {
-  TaskRt& r = rt_[g];
+  TaskRt& r = tasks_.rt(g);
   if (r.token != token || r.state != TaskState::kRunning) return;  // stale
 
   const int node = r.node;
-  NodeRt& n = nodes_[static_cast<std::size_t>(node)];
+  ClusterState::Node& n = nodes_.node_mut(node);
   r.state = TaskState::kFinished;
   r.finish = now_;
   r.executed_mi = task_info(g).size_mi;
   ++r.token;
-  touch_priority_topo(g);
+  tasks_.touch_priority_topo(g);
   n.busy_us += static_cast<double>(now_ - r.last_dispatch);
   n.available += task_info(g).demand;
   ++n.free_slots;
@@ -950,11 +900,11 @@ void Engine::on_finish(Gid g, std::uint32_t token) {
 
   // Wake children; a hoarding child whose last input just appeared starts
   // executing in place.
-  const JobId j = task_job_[g];
+  const JobId j = tasks_.job_of(g);
   const TaskGraph& graph = jobs_[j].graph();
-  for (TaskIndex child : graph.children(task_index_[g])) {
+  for (TaskIndex child : graph.children(tasks_.index_of(g))) {
     const Gid cg = gid(j, child);
-    TaskRt& c = rt_[cg];
+    TaskRt& c = tasks_.rt(cg);
     assert(c.unfinished_parents > 0);
     if (--c.unfinished_parents == 0 && c.state == TaskState::kHoarding)
       activate_hoarding(cg);
@@ -966,23 +916,23 @@ void Engine::on_finish(Gid g, std::uint32_t token) {
               .task = g,
               .node = n16(node)});
 
-  JobRt& jr = job_rt_[j];
+  JobRt& jr = tasks_.job_rt(j);
   jr.serviced_mi += task_info(g).size_mi;
   assert(jr.unfinished_tasks > 0);
   if (--jr.unfinished_tasks == 0) complete_job(j);
 
   fill_slots(node);
   // A child that became ready may be queued on another idle node.
-  for (TaskIndex child : graph.children(task_index_[g])) {
-    const TaskRt& c = rt_[gid(j, child)];
+  for (TaskIndex child : graph.children(tasks_.index_of(g))) {
+    const TaskRt& c = tasks_.rt(gid(j, child));
     if (c.node >= 0 && c.node != node && c.unfinished_parents == 0 &&
-        nodes_[static_cast<std::size_t>(c.node)].free_slots > 0)
+        nodes_.node(c.node).free_slots > 0)
       fill_slots(c.node);
   }
 }
 
 void Engine::complete_job(JobId j) {
-  JobRt& jr = job_rt_[j];
+  JobRt& jr = tasks_.job_rt(j);
   jr.finished = true;
   ++finished_jobs_;
   ++metrics_.jobs_finished;
@@ -990,7 +940,7 @@ void Engine::complete_job(JobId j) {
   SimTime finish = 0;
   double wait_total = 0.0;
   for (TaskIndex t = 0; t < jobs_[j].task_count(); ++t) {
-    const TaskRt& r = rt_[gid(j, t)];
+    const TaskRt& r = tasks_.rt(gid(j, t));
     finish = std::max(finish, r.finish);
     wait_total += r.total_wait_s;
   }
@@ -1014,8 +964,8 @@ void Engine::complete_job(JobId j) {
   // Unblock successor jobs (cross-job dependencies).
   bool unblocked = false;
   for (JobId s : jr.successor_jobs) {
-    assert(job_rt_[s].pred_jobs_remaining > 0);
-    if (--job_rt_[s].pred_jobs_remaining == 0) unblocked = true;
+    assert(tasks_.job_rt(s).pred_jobs_remaining > 0);
+    if (--tasks_.job_rt(s).pred_jobs_remaining == 0) unblocked = true;
   }
   if (unblocked) fill_all_slots();
 }

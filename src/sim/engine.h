@@ -5,6 +5,14 @@
 // Scheduler and an online PreemptionPolicy. Single-threaded and
 // deterministic: identical inputs produce identical runs.
 //
+// Kernel layering (DESIGN.md §16): the Engine is a thin orchestrator over
+// three state components with explicit ownership —
+//   - EventCalendar  when things happen (pending-event min-heap),
+//   - ClusterState   where things run (nodes, slots, waiting queues),
+//   - TaskRuntime    what progress was made (per-task/job records).
+// Policies never touch the components directly: the Engine re-exports
+// const-correct read views and owns every mutation.
+//
 // Execution model
 //   - A node k runs up to `slots` tasks concurrently, each at rate g(k)
 //     MIPS (Eq. (1)/(2)), provided their summed resource demands fit the
@@ -25,17 +33,19 @@
 #include <cassert>
 #include <cstdint>
 #include <memory>
-#include <queue>
 #include <vector>
 
 #include "dag/job.h"
 #include "obs/audit.h"
 #include "obs/events.h"
 #include "sim/cluster.h"
+#include "sim/cluster_state.h"
+#include "sim/event_calendar.h"
 #include "sim/failures.h"
 #include "sim/observer.h"
 #include "sim/policy.h"
 #include "sim/run_metrics.h"
+#include "sim/task_runtime.h"
 #include "sim/types.h"
 #include "util/time.h"
 
@@ -70,9 +80,20 @@ class Engine {
   Engine(ClusterSpec cluster, JobSet jobs, Scheduler& scheduler,
          PreemptionPolicy* preempt, EngineParams params = {});
 
+  // ClusterState holds a pointer to cluster_ and TaskRuntime to jobs_;
+  // moving an engine would dangle them. One engine, one place, one run.
+  Engine(const Engine&) = delete;
+  Engine& operator=(const Engine&) = delete;
+
   /// Runs the simulation to completion and returns the metrics.
-  /// Must be called at most once.
+  /// Single-shot: an Engine instance accumulates run state, so calling
+  /// run() again would silently corrupt it — reuse is a fatal error
+  /// (diagnostic + abort). Construct a fresh Engine per run.
   RunMetrics run();
+
+  /// Where this engine is in its single-shot lifecycle.
+  enum class Lifecycle : std::uint8_t { kIdle, kRunning, kDone };
+  Lifecycle lifecycle() const { return lifecycle_; }
 
   /// Installs an observer receiving every engine state transition
   /// (timeline recording, invariant checking). Call before run().
@@ -117,19 +138,14 @@ class Engine {
 
   /// Number of predecessor jobs of `j` that have not completed yet.
   std::uint32_t unfinished_predecessor_jobs(JobId j) const {
-    assert(j < job_rt_.size());
-    return job_rt_[j].pred_jobs_remaining;
+    return tasks_.job_rt(j).pred_jobs_remaining;
   }
 
   /// True while node `k` is up (failed nodes accept no work).
-  bool node_up(int node) const {
-    assert(node_in_range(node));
-    return nodes_[static_cast<std::size_t>(node)].up;
-  }
+  bool node_up(int node) const { return nodes_.node(node).up; }
   /// Current speed factor of `node` (1.0 nominal; < 1 while straggling).
   double node_speed_factor(int node) const {
-    assert(node_in_range(node));
-    return nodes_[static_cast<std::size_t>(node)].speed_factor;
+    return nodes_.node(node).speed_factor;
   }
 
   // ------------------------------------------------------------------
@@ -141,37 +157,27 @@ class Engine {
   std::size_t node_count() const { return cluster_.size(); }
   std::size_t job_count() const { return jobs_.size(); }
 
+  /// Const views of the kernel components (policies and tools may walk
+  /// these directly; all mutation stays inside the Engine).
+  const ClusterState& cluster_state() const { return nodes_; }
+  const TaskRuntime& task_runtime() const { return tasks_; }
+  const EventCalendar& calendar() const { return calendar_; }
+
   const Job& job(JobId j) const {
     assert(j < jobs_.size());
     return jobs_[j];
   }
-  JobId job_of(Gid g) const {
-    assert(g < task_job_.size());
-    return task_job_[g];
-  }
-  TaskIndex index_of(Gid g) const {
-    assert(g < task_index_.size());
-    return task_index_[g];
-  }
-  Gid gid(JobId j, TaskIndex t) const {
-    assert(j < job_offset_.size());
-    return job_offset_[j] + t;
-  }
-  const Task& task_info(Gid g) const {
-    assert(g < task_job_.size());
-    return jobs_[task_job_[g]].task(task_index_[g]);
-  }
+  JobId job_of(Gid g) const { return tasks_.job_of(g); }
+  TaskIndex index_of(Gid g) const { return tasks_.index_of(g); }
+  Gid gid(JobId j, TaskIndex t) const { return tasks_.gid(j, t); }
+  const Task& task_info(Gid g) const { return tasks_.task_info(g); }
 
-  TaskState state(Gid g) const {
-    assert(g < rt_.size());
-    return rt_[g].state;
-  }
+  TaskState state(Gid g) const { return tasks_.rt(g).state; }
   /// True when every precedent task has finished and every predecessor
   /// *job* (cross-job dependency) has completed.
   bool is_ready(Gid g) const {
-    assert(g < rt_.size());
-    return rt_[g].unfinished_parents == 0 &&
-           job_rt_[task_job_[g]].pred_jobs_remaining == 0;
+    return tasks_.rt(g).unfinished_parents == 0 &&
+           tasks_.job_rt(tasks_.job_of(g)).pred_jobs_remaining == 0;
   }
   /// True when a previous launch/preempt-in attempt failed the input
   /// check and the task has not become ready since. Dependency-blind
@@ -179,8 +185,7 @@ class Engine {
   /// event (a real scheduler remembers the failed launch until the
   /// missing inputs appear).
   bool launch_blocked(Gid g) const {
-    assert(g < launch_blocked_.size());
-    return launch_blocked_[g] != 0 && !is_ready(g);
+    return tasks_.launch_blocked_flag(g) && !is_ready(g);
   }
   /// Work left in MI (size minus executed).
   double remaining_mi(Gid g) const;
@@ -194,8 +199,7 @@ class Engine {
   /// that earned priority by waiting keeps it while running, which
   /// prevents preemption ping-pong between equal tasks.
   double accumulated_wait_s(Gid g) const {
-    assert(g < rt_.size());
-    return rt_[g].total_wait_s + to_seconds(waiting_time(g));
+    return tasks_.rt(g).total_wait_s + to_seconds(waiting_time(g));
   }
   /// Absolute per-task deadline t^d_ij (from the per-level rule).
   SimTime task_deadline(Gid g) const { return task_info(g).deadline; }
@@ -206,18 +210,9 @@ class Engine {
     const SimTime t_rem = remaining_time(g);
     return t_rem == kMaxTime ? -kMaxTime : task_deadline(g) - now_ - t_rem;
   }
-  int assigned_node(Gid g) const {
-    assert(g < rt_.size());
-    return rt_[g].node;
-  }
-  int preemption_count(Gid g) const {
-    assert(g < rt_.size());
-    return rt_[g].preemptions;
-  }
-  SimTime planned_start(Gid g) const {
-    assert(g < rt_.size());
-    return rt_[g].planned_start;
-  }
+  int assigned_node(Gid g) const { return tasks_.rt(g).node; }
+  int preemption_count(Gid g) const { return tasks_.rt(g).preemptions; }
+  SimTime planned_start(Gid g) const { return tasks_.rt(g).planned_start; }
 
   /// True when `dependent` (transitively) depends on `precedent`.
   /// Tasks of different jobs never depend on each other.
@@ -226,37 +221,27 @@ class Engine {
   /// Waiting queue of `node` in ascending planned-start order
   /// (includes suspended tasks awaiting resume).
   const std::vector<Gid>& waiting(int node) const {
-    assert(node_in_range(node));
-    return nodes_[static_cast<std::size_t>(node)].waiting;
+    return nodes_.node(node).waiting;
   }
   /// Copies `node`'s waiting queue into `out` (cleared first). Policies
   /// that mutate the queue while iterating (try_preempt requeues the
   /// victim) snapshot into a reusable buffer instead of allocating a
   /// fresh vector per node per epoch.
   void waiting_snapshot(int node, std::vector<Gid>& out) const {
-    assert(node_in_range(node));
-    const auto& w = nodes_[static_cast<std::size_t>(node)].waiting;
+    const auto& w = nodes_.node(node).waiting;
     out.assign(w.begin(), w.end());
   }
   /// Tasks currently running on `node`.
   const std::vector<Gid>& running(int node) const {
-    assert(node_in_range(node));
-    return nodes_[static_cast<std::size_t>(node)].running;
+    return nodes_.node(node).running;
   }
   /// Resources currently unreserved on `node`.
   const Resources& available(int node) const {
-    assert(node_in_range(node));
-    return nodes_[static_cast<std::size_t>(node)].available;
+    return nodes_.node(node).available;
   }
-  int free_slots(int node) const {
-    assert(node_in_range(node));
-    return nodes_[static_cast<std::size_t>(node)].free_slots;
-  }
+  int free_slots(int node) const { return nodes_.node(node).free_slots; }
   /// Effective rate: nominal g(k) scaled by the current straggler factor.
-  double node_rate(int node) const {
-    return cluster_.rate(static_cast<std::size_t>(node)) *
-           nodes_[static_cast<std::size_t>(node)].speed_factor;
-  }
+  double node_rate(int node) const { return nodes_.rate(node); }
   /// Execution time of `g` on `node` ignoring preemption (Eq. (2)).
   SimTime exec_time(Gid g, int node) const {
     return from_seconds(task_info(g).size_mi / node_rate(node));
@@ -270,8 +255,7 @@ class Engine {
   }
   /// Outstanding work assigned to `node` in MI (waiting + running).
   double node_backlog_mi(int node) const {
-    assert(node_in_range(node));
-    return nodes_[static_cast<std::size_t>(node)].backlog_mi;
+    return nodes_.node(node).backlog_mi;
   }
 
   /// Count of successful preemptions so far (for adaptive controllers).
@@ -287,14 +271,15 @@ class Engine {
   /// engine recomputes a job only when its stored version is stale (or
   /// simulated time advanced, which moves every t^w/t^a input).
   std::uint64_t priority_version(JobId j) const {
-    assert(j < prio_cache_.size());
-    return prio_cache_[j].version;
+    return tasks_.priority_version(j);
   }
   /// The job's unfinished tasks in reverse topological order (children
   /// before parents) as gids. Cached; rebuilt lazily after a task of the
   /// job finishes. Mostly-finished jobs walk only their live suffix
   /// instead of the whole DAG every epoch.
-  const std::vector<Gid>& live_reverse_topo(JobId j) const;
+  const std::vector<Gid>& live_reverse_topo(JobId j) const {
+    return tasks_.live_reverse_topo(j);
+  }
 
   /// The three leaf-priority inputs of Formula 13, fused into one pass
   /// over the task's runtime record (times in seconds):
@@ -311,27 +296,19 @@ class Engine {
   LeafInputs leaf_inputs(Gid g) const;
 
   /// True once the offline scheduler has placed this job's tasks.
-  bool job_scheduled(JobId j) const {
-    assert(j < job_rt_.size());
-    return job_rt_[j].scheduled;
-  }
+  bool job_scheduled(JobId j) const { return tasks_.job_rt(j).scheduled; }
   /// True when every task of the job has finished.
-  bool job_finished(JobId j) const {
-    assert(j < job_rt_.size());
-    return job_rt_[j].finished;
-  }
+  bool job_finished(JobId j) const { return tasks_.job_rt(j).finished; }
   /// Number of this job's tasks that have not finished yet.
   std::uint32_t unfinished_task_count(JobId j) const {
-    assert(j < job_rt_.size());
-    return job_rt_[j].unfinished_tasks;
+    return tasks_.job_rt(j).unfinished_tasks;
   }
   /// Total number of tasks across all jobs (the Gid domain size).
-  std::size_t total_task_count() const { return rt_.size(); }
+  std::size_t total_task_count() const { return tasks_.task_count(); }
   /// Work (MI) of this job's finished tasks — the "service received so
   /// far" signal Aalo's multi-level queues demote on.
   double job_serviced_mi(JobId j) const {
-    assert(j < job_rt_.size());
-    return job_rt_[j].serviced_mi;
+    return tasks_.job_rt(j).serviced_mi;
   }
 
   // ------------------------------------------------------------------
@@ -366,73 +343,10 @@ class Engine {
   bool migrate_task(Gid g, int to_node);
 
  private:
-  enum class EventKind : std::uint8_t {
-    kArrival,
-    kPeriod,
-    kEpoch,
-    kFinish,
-    kHoardTimeout,
-    kNodeEvent,  ///< gid indexes into failure_events_.
-  };
-  struct Event {
-    SimTime time;
-    std::uint64_t seq;
-    EventKind kind;
-    Gid gid;             // task for kFinish; job id for kArrival
-    std::uint32_t token; // validity check for kFinish
-
-    bool operator>(const Event& o) const {
-      return time != o.time ? time > o.time : seq > o.seq;
-    }
-  };
-
-  struct TaskRt {
-    TaskState state = TaskState::kUnscheduled;
-    int node = -1;
-    SimTime planned_start = 0;
-    double executed_mi = 0.0;
-    SimTime waiting_since = kNoTime;
-    SimTime first_start = kNoTime;
-    SimTime finish = kNoTime;
-    SimTime last_dispatch = kNoTime;
-    SimTime current_overhead = 0;
-    double total_wait_s = 0.0;
-    std::uint32_t token = 0;
-    std::int32_t preemptions = 0;
-    std::uint32_t unfinished_parents = 0;
-  };
-
-  struct NodeRt {
-    std::vector<Gid> waiting;  // sorted by (planned_start, gid)
-    std::vector<Gid> running;
-    Resources available;
-    int free_slots = 0;
-    double backlog_mi = 0.0;
-    double busy_us = 0.0;  // accumulated slot-busy microseconds
-    bool up = true;
-    double speed_factor = 1.0;
-  };
-
-  struct JobRt {
-    std::uint32_t unfinished_tasks = 0;
-    std::uint32_t pred_jobs_remaining = 0;  // cross-job dependencies
-    std::vector<JobId> successor_jobs;
-    double serviced_mi = 0.0;
-    bool scheduled = false;
-    bool finished = false;
-  };
-
-  /// Per-job bookkeeping for the incremental priority engine. The lazy
-  /// members are rebuilt inside const accessors; distinct jobs own
-  /// distinct entries, so parallel per-job priority computation never
-  /// races on them.
-  struct JobPrioCache {
-    std::uint64_t version = 1;            // see priority_version()
-    mutable std::vector<Gid> live_rtopo;  // unfinished tasks, reverse topo
-    mutable bool topo_valid = false;
-  };
-
-  void push_event(SimTime t, EventKind kind, Gid gid, std::uint32_t token);
+  void push_event(SimTime t, EventCalendar::Kind kind, Gid gid,
+                  std::uint32_t token) {
+    calendar_.push(t, kind, gid, token);
+  }
   void on_arrival(JobId job);
   void on_period();
   void on_epoch();
@@ -440,7 +354,6 @@ class Engine {
   void apply_placements(const std::vector<TaskPlacement>& placements,
                         const std::vector<JobId>& pending);
   void enqueue_waiting(int node, Gid g);
-  void remove_waiting(int node, Gid g);
   /// Starts an unready task in the hoarding state (slot occupied, no
   /// progress) and arms its eviction timeout.
   void start_hoarding(int node, Gid g);
@@ -469,26 +382,6 @@ class Engine {
   void complete_job(JobId j);
   bool all_jobs_finished() const { return finished_jobs_ == jobs_.size(); }
 
-  /// Bounds predicate behind the node-indexed accessors' asserts.
-  bool node_in_range(int node) const {
-    return node >= 0 && static_cast<std::size_t>(node) < nodes_.size();
-  }
-
-  /// Marks `g`'s job dirty for the priority engine.
-  void touch_priority(Gid g) { ++prio_cache_[task_job_[g]].version; }
-  /// Same, plus invalidates the job's live-topo cache (a task finished).
-  void touch_priority_topo(Gid g) {
-    JobPrioCache& c = prio_cache_[task_job_[g]];
-    ++c.version;
-    c.topo_valid = false;
-  }
-  /// Marks every job dirty. Used for node events (fail/recover/speed
-  /// change): a node's effective rate moves t_rem for every task placed
-  /// on it, across jobs.
-  void touch_priority_all() {
-    for (JobPrioCache& c : prio_cache_) ++c.version;
-  }
-
   ClusterSpec cluster_;
   JobSet jobs_;
   Scheduler& scheduler_;
@@ -500,27 +393,21 @@ class Engine {
   std::unique_ptr<obs::EventLog> owned_events_;  // from_env() in run()
   std::uint32_t epoch_index_ = 0;  // epoch ordinal stamped onto events
 
-  // Flat task indexing.
-  std::vector<Gid> job_offset_;       // per job: first gid
-  std::vector<JobId> task_job_;       // per gid
-  std::vector<TaskIndex> task_index_; // per gid
-
-  std::vector<TaskRt> rt_;
-  std::vector<NodeRt> nodes_;
-  std::vector<JobRt> job_rt_;
-  std::vector<JobPrioCache> prio_cache_;
+  // The kernel components (DESIGN.md §16). tasks_ indexes into jobs_ and
+  // nodes_ reads rates through cluster_; both are initialized after the
+  // owning members above.
+  TaskRuntime tasks_;
+  ClusterState nodes_;
+  EventCalendar calendar_;
   std::vector<std::uint8_t> dispatch_excluded_;  // scratch for fill_slots
-  std::vector<std::uint8_t> launch_blocked_;     // failed input checks
 
   std::vector<NodeEvent> failure_events_;
-  std::priority_queue<Event, std::vector<Event>, std::greater<>> events_;
-  std::uint64_t event_seq_ = 0;
   SimTime now_ = 0;
   SimTime first_arrival_ = kMaxTime;
   SimTime last_finish_ = 0;
   std::vector<JobId> pending_jobs_;
   std::size_t finished_jobs_ = 0;
-  bool ran_ = false;
+  Lifecycle lifecycle_ = Lifecycle::kIdle;
 
   RunMetrics metrics_;
 };

@@ -1,0 +1,66 @@
+// EventCalendar: the simulation kernel's pending-event min-heap.
+//
+// One of the four layers of the simulation kernel (see DESIGN.md §16):
+// the calendar owns *when* things happen, nothing else. Entries order by
+// (time, insertion sequence), so simultaneous events replay in exactly
+// the order they were scheduled — the property every determinism test
+// and flight-recorder diff in this repo leans on.
+#pragma once
+
+#include <cassert>
+#include <cstdint>
+#include <queue>
+#include <vector>
+
+#include "sim/types.h"
+#include "util/time.h"
+
+namespace dsp {
+
+/// Min-heap of scheduled simulation events with a stable tie-break.
+class EventCalendar {
+ public:
+  /// What kind of kernel event fires.
+  enum class Kind : std::uint8_t {
+    kArrival,       ///< A job arrives (entry.gid holds the JobId).
+    kPeriod,        ///< Offline scheduling period tick.
+    kEpoch,         ///< Online preemption epoch tick.
+    kFinish,        ///< A running task's completion (token-validated).
+    kHoardTimeout,  ///< A hoarding task's eviction deadline.
+    kNodeEvent,     ///< Failure-plan event (gid indexes the plan).
+  };
+
+  struct Entry {
+    SimTime time;
+    std::uint64_t seq;
+    Kind kind;
+    Gid gid;              // task for kFinish; job id for kArrival
+    std::uint32_t token;  // validity check for kFinish/kHoardTimeout
+
+    bool operator>(const Entry& o) const {
+      return time != o.time ? time > o.time : seq > o.seq;
+    }
+  };
+
+  /// Schedules an event. Entries pushed at the same `t` pop in push order.
+  void push(SimTime t, Kind kind, Gid gid, std::uint32_t token) {
+    heap_.push(Entry{t, seq_++, kind, gid, token});
+  }
+
+  bool empty() const { return heap_.empty(); }
+  std::size_t size() const { return heap_.size(); }
+
+  /// Removes and returns the earliest entry.
+  Entry pop() {
+    assert(!heap_.empty());
+    Entry e = heap_.top();
+    heap_.pop();
+    return e;
+  }
+
+ private:
+  std::priority_queue<Entry, std::vector<Entry>, std::greater<>> heap_;
+  std::uint64_t seq_ = 0;
+};
+
+}  // namespace dsp

@@ -26,7 +26,7 @@ obs::EventKind recorder_event_kind(NodeEvent::Kind k) {
 }
 
 void FailurePlan::add_outage(int node, SimTime at, SimTime duration) {
-  assert(node >= 0 && duration > 0);
+  assert(node >= 0 && duration >= 0);
   events_.push_back({at, node, NodeEvent::Kind::kFail, 1.0});
   events_.push_back({at + duration, node, NodeEvent::Kind::kRecover, 1.0});
   ++outages_;

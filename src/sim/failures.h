@@ -48,7 +48,10 @@ obs::EventKind recorder_event_kind(NodeEvent::Kind k);
 /// An injection schedule: outages and slowdowns over the run.
 class FailurePlan {
  public:
-  /// Node `node` is down during [at, at + duration).
+  /// Node `node` is down during [at, at + duration). A zero duration is
+  /// legal: kFail and kRecover land on the same timestamp (stable sort
+  /// keeps fail-before-recover), modelling an instantaneous bounce that
+  /// kills running tasks but leaves the node up.
   void add_outage(int node, SimTime at, SimTime duration);
 
   /// Node `node` runs at `factor` x nominal rate during [at, at+duration).

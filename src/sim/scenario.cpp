@@ -1,0 +1,211 @@
+#include "sim/scenario.h"
+
+#include <cassert>
+#include <utility>
+
+#include "obs/events.h"
+#include "util/env.h"
+#include "util/log.h"
+#include "util/thread_pool.h"
+
+namespace dsp {
+
+const char* to_string(ClusterProfile p) {
+  switch (p) {
+    case ClusterProfile::kRealCluster:
+      return "real";
+    case ClusterProfile::kEc2:
+      return "ec2";
+    case ClusterProfile::kUniform:
+      return "uniform";
+  }
+  return "?";
+}
+
+bool parse_cluster_profile(std::string_view s, ClusterProfile& out) {
+  if (s == "real" || s == "real-cluster") {
+    out = ClusterProfile::kRealCluster;
+  } else if (s == "ec2") {
+    out = ClusterProfile::kEc2;
+  } else if (s == "uniform") {
+    out = ClusterProfile::kUniform;
+  } else {
+    return false;
+  }
+  return true;
+}
+
+ClusterSpec make_cluster(const ClusterRecipe& recipe) {
+  switch (recipe.profile) {
+    case ClusterProfile::kRealCluster:
+      return ClusterSpec::real_cluster(recipe.nodes == 0 ? 50 : recipe.nodes);
+    case ClusterProfile::kEc2:
+      return ClusterSpec::ec2(recipe.nodes == 0 ? 30 : recipe.nodes);
+    case ClusterProfile::kUniform:
+      return ClusterSpec::uniform(recipe.nodes == 0 ? 8 : recipe.nodes,
+                                  recipe.cpu_mips, recipe.mem_gb,
+                                  recipe.slots);
+  }
+  return ClusterSpec::real_cluster();
+}
+
+const char* to_string(SchedKind k) {
+  // Display names are load-bearing: bench series and published figure
+  // labels key on them.
+  switch (k) {
+    case SchedKind::kDsp:
+      return "DSP";
+    case SchedKind::kAalo:
+      return "Aalo";
+    case SchedKind::kTetrisSimDep:
+      return "TetrisW/SimDep";
+    case SchedKind::kTetrisNoDep:
+      return "TetrisW/oDep";
+  }
+  return "?";
+}
+
+bool parse_sched_kind(std::string_view s, SchedKind& out) {
+  if (s == "dsp") {
+    out = SchedKind::kDsp;
+  } else if (s == "aalo") {
+    out = SchedKind::kAalo;
+  } else if (s == "tetris-simdep") {
+    out = SchedKind::kTetrisSimDep;
+  } else if (s == "tetris-nodep") {
+    out = SchedKind::kTetrisNoDep;
+  } else {
+    return false;
+  }
+  return true;
+}
+
+const char* to_string(PolicyKind k) {
+  switch (k) {
+    case PolicyKind::kDsp:
+      return "DSP";
+    case PolicyKind::kDspNoPp:
+      return "DSPW/oPP";
+    case PolicyKind::kAmoeba:
+      return "Amoeba";
+    case PolicyKind::kNatjam:
+      return "Natjam";
+    case PolicyKind::kSrpt:
+      return "SRPT";
+    case PolicyKind::kNone:
+      return "none";
+  }
+  return "?";
+}
+
+bool parse_policy_kind(std::string_view s, PolicyKind& out) {
+  if (s == "dsp") {
+    out = PolicyKind::kDsp;
+  } else if (s == "dsp-nopp") {
+    out = PolicyKind::kDspNoPp;
+  } else if (s == "amoeba") {
+    out = PolicyKind::kAmoeba;
+  } else if (s == "natjam") {
+    out = PolicyKind::kNatjam;
+  } else if (s == "srpt") {
+    out = PolicyKind::kSrpt;
+  } else if (s == "none") {
+    out = PolicyKind::kNone;
+  } else {
+    return false;
+  }
+  return true;
+}
+
+FailurePlan make_failure_plan(const FailureRecipe& recipe,
+                              const ClusterSpec& cluster,
+                              std::uint64_t fallback_seed) {
+  const std::uint64_t seed = recipe.seed != 0 ? recipe.seed : fallback_seed;
+  switch (recipe.kind) {
+    case FailureRecipe::Kind::kNone:
+      return {};
+    case FailureRecipe::Kind::kOutages:
+      return FailurePlan::random_outages(cluster, recipe.horizon,
+                                         recipe.mtbf_hours,
+                                         recipe.mttr_minutes, seed);
+    case FailureRecipe::Kind::kStragglers:
+      return FailurePlan::random_stragglers(cluster, recipe.horizon,
+                                            recipe.mean_gap,
+                                            recipe.mean_duration,
+                                            recipe.factor, seed);
+  }
+  return {};
+}
+
+std::uint64_t scenario_seed(std::uint64_t base, std::string_view name) {
+  // FNV-1a over the name, mixed with the base through one splitmix64
+  // round. Depends only on (base, name): re-ordering the grid or changing
+  // the thread count cannot move a scenario's seed.
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  for (const char c : name) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 0x100000001b3ULL;
+  }
+  std::uint64_t z = base + h + 0x9e3779b97f4a7c15ULL;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+RunMetrics run_scenario(const ScenarioSpec& spec,
+                        const ScenarioFactory& factory,
+                        obs::EventLog* event_log) {
+  ClusterSpec cluster = make_cluster(spec.cluster);
+  JobSet jobs = WorkloadGenerator(spec.workload, spec.seed).generate();
+
+  std::unique_ptr<Scheduler> scheduler = factory.make_scheduler(spec);
+  assert(scheduler != nullptr);
+  std::unique_ptr<PreemptionPolicy> policy = factory.make_policy(spec);
+
+  Engine engine(std::move(cluster), std::move(jobs), *scheduler, policy.get(),
+                spec.engine);
+  if (event_log != nullptr) engine.set_event_log(event_log);
+  if (spec.failures.kind != FailureRecipe::Kind::kNone) {
+    engine.set_failure_plan(
+        make_failure_plan(spec.failures, engine.cluster(), spec.seed));
+  }
+  return engine.run();
+}
+
+std::vector<RunMetrics> run_scenario_grid(const std::vector<ScenarioSpec>& grid,
+                                          const ScenarioFactory& factory,
+                                          const GridOptions& options) {
+  const unsigned threads =
+      options.threads != 0
+          ? options.threads
+          : static_cast<unsigned>(env_int_min("DSP_THREADS", 1, 1));
+
+  std::vector<RunMetrics> results(grid.size());
+  ThreadPool pool(threads);
+  pool.parallel_for(grid.size(), [&](std::size_t i) {
+    // One private recorder per scenario: concurrent runs sharing the
+    // DSP_EVENT_LOG sink would interleave their streams, so the grid
+    // runner never consults the environment.
+    std::unique_ptr<obs::EventLog> log;
+    if (!options.event_log_dir.empty()) {
+      log = std::make_unique<obs::EventLog>();
+      const std::string path =
+          options.event_log_dir + "/" + grid[i].name + ".jsonl";
+      if (!log->open_sink(path)) {
+        DSP_WARN("scenario grid: cannot open event-log sink %s; running "
+                 "scenario '%s' without a recorder",
+                 path.c_str(), grid[i].name.c_str());
+        log.reset();
+      }
+    }
+    if (log == nullptr) {
+      // Sink-less stub (minimal ring): emits cost a mutex hold and a ring
+      // store, and the engine's DSP_EVENT_LOG fallback stays disarmed.
+      log = std::make_unique<obs::EventLog>(/*capacity=*/1);
+    }
+    results[i] = run_scenario(grid[i], factory, log.get());
+  });
+  return results;
+}
+
+}  // namespace dsp

@@ -1,0 +1,191 @@
+// Declarative simulation scenarios and the parallel grid runner.
+//
+// The paper's evaluation (§V) is a grid: two testbeds × five baselines ×
+// ablation knobs × seeds. A ScenarioSpec captures one cell of that grid as
+// data — cluster profile, workload recipe, policy pair, knobs, seed — so
+// experiment drivers (bench/fig*, tools/dsp_sweep) enumerate specs instead
+// of hand-rolling private loops. run_scenario() turns one spec into a
+// RunMetrics via a fresh Engine (the kernel stack is re-entrant: nothing
+// survives a run except the returned metrics); run_scenario_grid() fans a
+// spec list over a util::ThreadPool, one independent Engine per scenario,
+// with results in grid order regardless of thread interleaving.
+//
+// Policy construction is behind the abstract ScenarioFactory so this layer
+// stays below core/ and baselines/ in the link order; the standard factory
+// for the paper's methods lives in scenarios/standard.h.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "sim/cluster.h"
+#include "sim/engine.h"
+#include "sim/failures.h"
+#include "sim/run_metrics.h"
+#include "trace/workload.h"
+#include "util/time.h"
+
+namespace dsp {
+
+// ------------------------------------------------------------------
+// Cluster recipe.
+// ------------------------------------------------------------------
+
+/// Which testbed profile to instantiate (§V).
+enum class ClusterProfile : std::uint8_t {
+  kRealCluster,  ///< Palmetto-style servers (default 50 nodes).
+  kEc2,          ///< EC2 instances (default 30 nodes).
+  kUniform,      ///< Homogeneous test cluster (explicit node shape).
+};
+
+const char* to_string(ClusterProfile p);
+/// Inverse of to_string over CLI tokens ("real", "ec2", "uniform");
+/// false when `s` names no profile.
+bool parse_cluster_profile(std::string_view s, ClusterProfile& out);
+
+/// Declarative cluster description; make_cluster() instantiates it.
+struct ClusterRecipe {
+  ClusterProfile profile = ClusterProfile::kRealCluster;
+  /// Node count; 0 uses the profile's paper default (50 / 30 / 8).
+  std::size_t nodes = 0;
+  // kUniform shape (ignored by the paper profiles):
+  double cpu_mips = 2660.0;
+  double mem_gb = 4.0;
+  int slots = 2;
+};
+
+ClusterSpec make_cluster(const ClusterRecipe& recipe);
+
+// ------------------------------------------------------------------
+// Policy pair.
+// ------------------------------------------------------------------
+
+/// Scheduler identifiers (Fig. 5 methods).
+enum class SchedKind : std::uint8_t { kDsp, kAalo, kTetrisSimDep, kTetrisNoDep };
+const char* to_string(SchedKind k);
+/// Parses CLI tokens "dsp", "aalo", "tetris-simdep", "tetris-nodep".
+bool parse_sched_kind(std::string_view s, SchedKind& out);
+
+/// Preemption-policy identifiers (Fig. 6/7 methods); kNone = offline
+/// scheduling only, as for the Fig. 5 scheduler baselines.
+enum class PolicyKind : std::uint8_t {
+  kDsp,
+  kDspNoPp,
+  kAmoeba,
+  kNatjam,
+  kSrpt,
+  kNone,
+};
+const char* to_string(PolicyKind k);
+/// Parses CLI tokens "dsp", "dsp-nopp", "amoeba", "natjam", "srpt", "none".
+bool parse_policy_kind(std::string_view s, PolicyKind& out);
+
+// ------------------------------------------------------------------
+// Knobs and failure injection.
+// ------------------------------------------------------------------
+
+/// The ablation surface of the paper, normalized into one struct. The
+/// defaults equal the Table II settings, so a default-constructed knob
+/// set reproduces the headline configuration exactly.
+struct ScenarioKnobs {
+  double gamma = 0.5;        ///< Formula 12 level weighting (sched + policy).
+  double delta = 0.35;       ///< Algorithm 1 preemptor window.
+  bool adaptive_delta = true;
+  bool normalized_pp = true; ///< PP filter on/off (DSPW/oPP = off).
+  double rho = 200.0;        ///< PP rank-distance threshold.
+  bool straggler_mitigation = false;
+  bool locality_aware = true;  ///< Scheduler placement uses input locations.
+};
+
+/// Declarative failure/straggler injection (sim/failures.h plans).
+struct FailureRecipe {
+  enum class Kind : std::uint8_t { kNone, kOutages, kStragglers };
+  Kind kind = Kind::kNone;
+  SimTime horizon = 40 * kHour;  ///< Injection window [0, horizon).
+  /// Seed for the random plan; 0 derives one from the scenario seed.
+  std::uint64_t seed = 0;
+  // kOutages:
+  double mtbf_hours = 4.0;
+  double mttr_minutes = 5.0;
+  // kStragglers:
+  SimTime mean_gap = 2 * kHour;
+  SimTime mean_duration = 10 * kMinute;
+  double factor = 0.4;
+};
+
+/// Instantiates the recipe against `cluster`. `fallback_seed` is used when
+/// the recipe does not pin its own plan seed.
+FailurePlan make_failure_plan(const FailureRecipe& recipe,
+                              const ClusterSpec& cluster,
+                              std::uint64_t fallback_seed);
+
+// ------------------------------------------------------------------
+// The scenario.
+// ------------------------------------------------------------------
+
+/// One cell of an evaluation grid. Everything an Engine run needs, as
+/// plain data: two specs with equal fields produce bit-identical runs.
+struct ScenarioSpec {
+  /// Stable identity: names per-scenario outputs (sweep JSON, event-log
+  /// sinks) and orders merged reports. Keep it filesystem-safe.
+  std::string name;
+  ClusterRecipe cluster;
+  /// Workload recipe (job_count, task_scale, locality fields, ...).
+  WorkloadConfig workload;
+  SchedKind sched = SchedKind::kDsp;
+  PolicyKind policy = PolicyKind::kDsp;
+  ScenarioKnobs knobs;
+  EngineParams engine;  ///< Defaults already match the paper's §V timing.
+  FailureRecipe failures;
+  std::uint64_t seed = 42;  ///< Workload seed.
+};
+
+/// Builds the Scheduler/PreemptionPolicy pair for a spec. Abstract so the
+/// sim layer needs no link to core/ or baselines/; scenarios/standard.h
+/// provides the factory covering the paper's methods.
+class ScenarioFactory {
+ public:
+  virtual ~ScenarioFactory() = default;
+  virtual std::unique_ptr<Scheduler> make_scheduler(
+      const ScenarioSpec& spec) const = 0;
+  /// May return null (spec.policy == PolicyKind::kNone).
+  virtual std::unique_ptr<PreemptionPolicy> make_policy(
+      const ScenarioSpec& spec) const = 0;
+};
+
+/// Derives a per-scenario seed from a base seed and the scenario's name
+/// (splitmix64 over an FNV-1a name hash). Stable across grid order and
+/// thread count: the same (base, name) always yields the same seed.
+std::uint64_t scenario_seed(std::uint64_t base, std::string_view name);
+
+/// Runs one scenario to completion on a fresh Engine. When `event_log` is
+/// non-null it is attached for the run (otherwise the engine falls back
+/// to the DSP_EVENT_LOG environment, as always).
+RunMetrics run_scenario(const ScenarioSpec& spec,
+                        const ScenarioFactory& factory,
+                        obs::EventLog* event_log = nullptr);
+
+/// Grid-runner options.
+struct GridOptions {
+  /// Worker threads; 0 reads DSP_THREADS (default 1).
+  unsigned threads = 0;
+  /// When non-empty, each scenario streams its flight recorder to
+  /// `<event_log_dir>/<name>.jsonl`. Empty = no recorder (the env sink is
+  /// deliberately NOT consulted: parallel runs sharing one file would
+  /// corrupt it).
+  std::string event_log_dir;
+};
+
+/// Runs every spec of `grid`, fanned over a thread pool. Each scenario
+/// gets its own Engine, workload and (optional) event log, so runs are
+/// independent; results come back in grid order. The per-scenario output
+/// is a pure function of the spec — thread count and grid order change
+/// only the wall-clock fields of the returned metrics.
+std::vector<RunMetrics> run_scenario_grid(const std::vector<ScenarioSpec>& grid,
+                                          const ScenarioFactory& factory,
+                                          const GridOptions& options = {});
+
+}  // namespace dsp

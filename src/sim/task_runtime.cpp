@@ -1,0 +1,49 @@
+#include "sim/task_runtime.h"
+
+namespace dsp {
+
+void TaskRuntime::init(const JobSet& jobs) {
+  jobs_ = &jobs;
+  job_offset_.resize(jobs.size());
+  Gid next = 0;
+  for (std::size_t j = 0; j < jobs.size(); ++j) {
+    job_offset_[j] = next;
+    next += static_cast<Gid>(jobs[j].task_count());
+  }
+  task_job_.resize(next);
+  task_index_.resize(next);
+  rt_.resize(next);
+  launch_blocked_.assign(next, 0);
+  for (std::size_t j = 0; j < jobs.size(); ++j) {
+    for (TaskIndex t = 0; t < jobs[j].task_count(); ++t) {
+      const Gid g = job_offset_[j] + t;
+      task_job_[g] = static_cast<JobId>(j);
+      task_index_[g] = t;
+      rt_[g].unfinished_parents =
+          static_cast<std::uint32_t>(jobs[j].graph().parents(t).size());
+    }
+  }
+
+  job_rt_.resize(jobs.size());
+  prio_cache_.resize(jobs.size());
+  for (std::size_t j = 0; j < jobs.size(); ++j)
+    job_rt_[j].unfinished_tasks =
+        static_cast<std::uint32_t>(jobs[j].task_count());
+}
+
+const std::vector<Gid>& TaskRuntime::live_reverse_topo(JobId j) const {
+  const JobPrioCache& c = prio_cache_[j];
+  if (!c.topo_valid) {
+    c.live_rtopo.clear();
+    const auto topo = (*jobs_)[j].graph().topo_order();
+    const Gid base = job_offset_[j];
+    for (auto it = topo.rbegin(); it != topo.rend(); ++it) {
+      const Gid g = base + *it;
+      if (rt_[g].state != TaskState::kFinished) c.live_rtopo.push_back(g);
+    }
+    c.topo_valid = true;
+  }
+  return c.live_rtopo;
+}
+
+}  // namespace dsp

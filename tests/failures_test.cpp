@@ -186,6 +186,73 @@ TEST(FailureTest, NodeUpQueryReflectsState) {
 }
 
 // ---------------------------------------------------------------------
+// Node-event edge cases
+// ---------------------------------------------------------------------
+
+TEST(FailureTest, NodeEventAtTimeZeroAppliesBeforeFirstDispatch) {
+  // A slowdown starting at t = 0 must be in force when the first task is
+  // dispatched (also at t = 0, the period tick coincident with arrival):
+  // 4 s at 0.5x (2000 MI) + 8000 MI at full rate = 12 s, exactly as if
+  // the task had started mid-slowdown.
+  JobSet jobs;
+  jobs.push_back(make_independent_job(0, 1, 10000.0));
+  RoundRobinScheduler sched;
+  Engine engine(nodes(1), std::move(jobs), sched, nullptr, fast_params());
+  FailurePlan plan;
+  plan.add_slowdown(0, 0, 4 * kSecond, 0.5);
+  engine.set_failure_plan(plan);
+  const RunMetrics m = engine.run();
+  EXPECT_EQ(m.tasks_finished, 1u);
+  EXPECT_EQ(m.makespan, 12 * kSecond);
+}
+
+TEST(FailureTest, SimultaneousDownUpSameTimestamp) {
+  // A zero-duration outage puts kFail and kRecover at the same timestamp.
+  // Plan order is preserved for equal times (stable sort): the node fails
+  // — killing its running task — and recovers in the same instant, so the
+  // task resumes immediately with only the recovery overhead:
+  // 4 s progress kept, resume at 4 s, finish at 4 + t^r + sigma + 6 s.
+  JobSet jobs;
+  jobs.push_back(make_independent_job(0, 1, 10000.0));
+  RoundRobinScheduler sched;
+  EngineParams params = fast_params();
+  Engine engine(nodes(1), std::move(jobs), sched, nullptr, params);
+  FailurePlan plan;
+  plan.add_outage(0, 4 * kSecond, 0);
+  engine.set_failure_plan(plan);
+  const RunMetrics m = engine.run();
+  EXPECT_EQ(m.node_failures, 1u);
+  EXPECT_EQ(m.tasks_killed_by_failure, 1u);
+  EXPECT_EQ(m.tasks_finished, 1u);
+  EXPECT_EQ(m.makespan,
+            4 * kSecond + params.recovery + params.ctx_switch + 6 * kSecond);
+}
+
+TEST(FailureTest, EventsTargetingAlreadyDownNodeAreNoOps) {
+  // Overlapping outages on one node: the second kFail hits an already-down
+  // node (no-op — no double kill, no double node_failures count) and its
+  // paired kRecover at 5 s brings the node back early; the first outage's
+  // recover at 12 s then hits an already-up node (no-op). Timeline:
+  // fail@2 (2 s progress checkpointed), fail@4 ignored, recover@5 resumes,
+  // finish at 5 + t^r + sigma + 8 s; recover@12 ignored.
+  JobSet jobs;
+  jobs.push_back(make_independent_job(0, 1, 10000.0));
+  RoundRobinScheduler sched;
+  EngineParams params = fast_params();
+  Engine engine(nodes(1), std::move(jobs), sched, nullptr, params);
+  FailurePlan plan;
+  plan.add_outage(0, 2 * kSecond, 10 * kSecond);
+  plan.add_outage(0, 4 * kSecond, 1 * kSecond);
+  engine.set_failure_plan(plan);
+  const RunMetrics m = engine.run();
+  EXPECT_EQ(m.node_failures, 1u);
+  EXPECT_EQ(m.tasks_killed_by_failure, 1u);
+  EXPECT_EQ(m.tasks_finished, 1u);
+  EXPECT_EQ(m.makespan,
+            5 * kSecond + params.recovery + params.ctx_switch + 8 * kSecond);
+}
+
+// ---------------------------------------------------------------------
 // Straggler semantics
 // ---------------------------------------------------------------------
 

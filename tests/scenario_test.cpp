@@ -1,0 +1,235 @@
+// Tests for the declarative scenario layer (sim/scenario.h) and the
+// standard factory (scenarios/standard.h): cluster recipes, CLI token
+// round-trips, seed derivation, failure-recipe instantiation, equivalence
+// of run_scenario with the plain simulate() entry point, and grid-runner
+// determinism across thread counts.
+#include "sim/scenario.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "core/dsp_scheduler.h"
+#include "core/dsp_system.h"
+#include "core/preemption.h"
+#include "metrics/report.h"
+#include "scenarios/standard.h"
+#include "trace/workload.h"
+
+namespace dsp {
+namespace {
+
+/// Serialized run outcome with the one nondeterministic field (wall
+/// clock) zeroed: equal fingerprints mean bit-identical runs.
+std::string fingerprint(RunMetrics m) {
+  m.sim_wall_s = 0.0;
+  std::ostringstream os;
+  write_json(os, m);
+  return os.str();
+}
+
+/// A small, fast spec used by the run-equivalence tests.
+ScenarioSpec small_spec(const std::string& name) {
+  ScenarioSpec spec;
+  spec.name = name;
+  spec.cluster.profile = ClusterProfile::kEc2;
+  spec.cluster.nodes = 6;
+  spec.workload.job_count = 10;
+  spec.workload.task_scale = 0.02;
+  return spec;
+}
+
+// ------------------------------------------------------------------
+// Cluster recipes
+// ------------------------------------------------------------------
+
+TEST(ClusterRecipeTest, ProfilesUsePaperNodeCounts) {
+  ClusterRecipe r;
+  r.profile = ClusterProfile::kRealCluster;
+  EXPECT_EQ(make_cluster(r).size(), 50u);
+  r.profile = ClusterProfile::kEc2;
+  EXPECT_EQ(make_cluster(r).size(), 30u);
+  r.profile = ClusterProfile::kUniform;
+  EXPECT_EQ(make_cluster(r).size(), 8u);
+}
+
+TEST(ClusterRecipeTest, ExplicitNodeCountOverridesDefault) {
+  ClusterRecipe r;
+  r.profile = ClusterProfile::kEc2;
+  r.nodes = 6;
+  EXPECT_EQ(make_cluster(r).size(), 6u);
+}
+
+TEST(ClusterRecipeTest, InvalidUniformShapeIsRejected) {
+  // The recipe feeds ClusterSpec's validating constructor: a zero-rate
+  // uniform cluster must throw, not produce an unrunnable spec.
+  ClusterRecipe r;
+  r.profile = ClusterProfile::kUniform;
+  r.cpu_mips = 0.0;
+  EXPECT_THROW(make_cluster(r), std::invalid_argument);
+}
+
+// ------------------------------------------------------------------
+// CLI tokens and display names
+// ------------------------------------------------------------------
+
+TEST(ScenarioTokensTest, ClusterProfileTokensRoundTrip) {
+  for (ClusterProfile p : {ClusterProfile::kRealCluster, ClusterProfile::kEc2,
+                           ClusterProfile::kUniform}) {
+    ClusterProfile out;
+    ASSERT_TRUE(parse_cluster_profile(to_string(p), out)) << to_string(p);
+    EXPECT_EQ(out, p);
+  }
+  ClusterProfile out;
+  EXPECT_FALSE(parse_cluster_profile("palmetto", out));
+}
+
+TEST(ScenarioTokensTest, SchedKindTokensParse) {
+  const std::vector<std::pair<std::string, SchedKind>> tokens{
+      {"dsp", SchedKind::kDsp},
+      {"aalo", SchedKind::kAalo},
+      {"tetris-simdep", SchedKind::kTetrisSimDep},
+      {"tetris-nodep", SchedKind::kTetrisNoDep},
+  };
+  for (const auto& [token, want] : tokens) {
+    SchedKind out;
+    ASSERT_TRUE(parse_sched_kind(token, out)) << token;
+    EXPECT_EQ(out, want);
+  }
+  SchedKind out;
+  EXPECT_FALSE(parse_sched_kind("fifo", out));
+}
+
+TEST(ScenarioTokensTest, PolicyKindTokensParse) {
+  const std::vector<std::pair<std::string, PolicyKind>> tokens{
+      {"dsp", PolicyKind::kDsp},       {"dsp-nopp", PolicyKind::kDspNoPp},
+      {"amoeba", PolicyKind::kAmoeba}, {"natjam", PolicyKind::kNatjam},
+      {"srpt", PolicyKind::kSrpt},     {"none", PolicyKind::kNone},
+  };
+  for (const auto& [token, want] : tokens) {
+    PolicyKind out;
+    ASSERT_TRUE(parse_policy_kind(token, out)) << token;
+    EXPECT_EQ(out, want);
+  }
+  PolicyKind out;
+  EXPECT_FALSE(parse_policy_kind("fcfs", out));
+}
+
+TEST(ScenarioTokensTest, DisplayNamesMatchPaperFigures) {
+  // The figure tables and JSON reports key on these exact spellings.
+  EXPECT_STREQ(to_string(SchedKind::kDsp), "DSP");
+  EXPECT_STREQ(to_string(SchedKind::kTetrisSimDep), "TetrisW/SimDep");
+  EXPECT_STREQ(to_string(SchedKind::kTetrisNoDep), "TetrisW/oDep");
+  EXPECT_STREQ(to_string(PolicyKind::kDspNoPp), "DSPW/oPP");
+  EXPECT_STREQ(to_string(PolicyKind::kNone), "none");
+}
+
+// ------------------------------------------------------------------
+// Seed derivation
+// ------------------------------------------------------------------
+
+TEST(ScenarioSeedTest, StableAndSensitiveToBaseAndName) {
+  const std::uint64_t a = scenario_seed(42, "alpha");
+  EXPECT_EQ(a, scenario_seed(42, "alpha"));
+  EXPECT_NE(a, scenario_seed(42, "beta"));
+  EXPECT_NE(a, scenario_seed(43, "alpha"));
+}
+
+// ------------------------------------------------------------------
+// Failure recipes
+// ------------------------------------------------------------------
+
+bool same_plan(const FailurePlan& a, const FailurePlan& b) {
+  const auto ea = a.sorted_events();
+  const auto eb = b.sorted_events();
+  if (ea.size() != eb.size()) return false;
+  for (std::size_t i = 0; i < ea.size(); ++i) {
+    if (ea[i].at != eb[i].at || ea[i].node != eb[i].node ||
+        ea[i].kind != eb[i].kind || ea[i].factor != eb[i].factor)
+      return false;
+  }
+  return true;
+}
+
+TEST(FailureRecipeTest, UnpinnedSeedDerivesFromFallback) {
+  FailureRecipe r;
+  r.kind = FailureRecipe::Kind::kOutages;
+  const ClusterSpec cluster = ClusterSpec::ec2();
+  EXPECT_TRUE(same_plan(make_failure_plan(r, cluster, 7),
+                        make_failure_plan(r, cluster, 7)));
+  EXPECT_FALSE(same_plan(make_failure_plan(r, cluster, 7),
+                         make_failure_plan(r, cluster, 8)));
+}
+
+TEST(FailureRecipeTest, PinnedSeedIgnoresFallback) {
+  FailureRecipe r;
+  r.kind = FailureRecipe::Kind::kStragglers;
+  r.seed = 99;
+  const ClusterSpec cluster = ClusterSpec::ec2();
+  EXPECT_TRUE(same_plan(make_failure_plan(r, cluster, 7),
+                        make_failure_plan(r, cluster, 8)));
+}
+
+TEST(FailureRecipeTest, NoneKindYieldsEmptyPlan) {
+  EXPECT_TRUE(
+      make_failure_plan(FailureRecipe{}, ClusterSpec::ec2(), 7).empty());
+}
+
+// ------------------------------------------------------------------
+// run_scenario equivalence and the grid runner
+// ------------------------------------------------------------------
+
+TEST(RunScenarioTest, DefaultSpecMatchesPlainSimulate) {
+  // A default spec must reproduce the headline configuration: DSP
+  // scheduler + DSP preemption with Table II knobs, bit for bit.
+  const ScenarioSpec spec = small_spec("equiv");
+  const RunMetrics via_scenario = run_standard_scenario(spec);
+
+  const JobSet jobs = WorkloadGenerator(spec.workload, spec.seed).generate();
+  DspScheduler sched;
+  DspPreemption policy;
+  const RunMetrics direct =
+      simulate(ClusterSpec::ec2(6), jobs, sched, &policy, spec.engine);
+
+  EXPECT_EQ(fingerprint(via_scenario), fingerprint(direct));
+}
+
+TEST(RunScenarioTest, NonePolicyRunsOfflineOnly) {
+  ScenarioSpec spec = small_spec("offline");
+  spec.policy = PolicyKind::kNone;
+  const RunMetrics m = run_standard_scenario(spec);
+  EXPECT_EQ(m.preemptions, 0u);
+  EXPECT_EQ(m.jobs_finished, spec.workload.job_count);
+}
+
+TEST(ScenarioGridTest, ResultsMatchSequentialAtAnyThreadCount) {
+  std::vector<ScenarioSpec> grid;
+  for (PolicyKind policy :
+       {PolicyKind::kDsp, PolicyKind::kSrpt, PolicyKind::kNone}) {
+    ScenarioSpec spec = small_spec(std::string("grid-") + to_string(policy));
+    spec.policy = policy;
+    grid.push_back(std::move(spec));
+  }
+
+  GridOptions one;
+  one.threads = 1;
+  GridOptions four;
+  four.threads = 4;
+  const std::vector<RunMetrics> r1 = run_standard_grid(grid, one);
+  const std::vector<RunMetrics> r4 = run_standard_grid(grid, four);
+
+  ASSERT_EQ(r1.size(), grid.size());
+  ASSERT_EQ(r4.size(), grid.size());
+  for (std::size_t i = 0; i < grid.size(); ++i) {
+    EXPECT_EQ(fingerprint(r1[i]), fingerprint(r4[i])) << grid[i].name;
+    EXPECT_EQ(fingerprint(r1[i]),
+              fingerprint(run_standard_scenario(grid[i])))
+        << grid[i].name;
+  }
+}
+
+}  // namespace
+}  // namespace dsp

@@ -2,6 +2,8 @@
 // enforcement, preemption mechanics, checkpoint semantics, metrics.
 #include <gtest/gtest.h>
 
+#include <stdexcept>
+
 #include "sim/cluster.h"
 #include "sim/engine.h"
 #include "test_util.h"
@@ -61,6 +63,76 @@ TEST(ClusterTest, Ec2Profile) {
   const ClusterSpec real = ClusterSpec::real_cluster();
   EXPECT_GT(real.size() * static_cast<std::size_t>(real.node(0).slots),
             c.size() * static_cast<std::size_t>(c.node(0).slots));
+}
+
+TEST(ClusterTest, ValidateAcceptsWellFormedSpecs) {
+  EXPECT_TRUE(test_cluster(3, 2).validate().empty());
+  EXPECT_TRUE(ClusterSpec::real_cluster().validate().empty());
+  EXPECT_TRUE(ClusterSpec::ec2().validate().empty());
+  // A default-constructed (empty) spec is vacuously valid: no nodes, no
+  // defects. The engine separately treats an empty cluster as zero rate.
+  EXPECT_TRUE(ClusterSpec().validate().empty());
+}
+
+TEST(ClusterTest, ValidationRejectsNonPositiveSlots) {
+  NodeSpec bad;
+  bad.capacity = Resources{2.0, 4.0, 100.0, 100.0};
+  bad.slots = 0;
+  try {
+    ClusterSpec spec({bad});
+    FAIL() << "zero-slot node must be rejected";
+  } catch (const std::invalid_argument& e) {
+    // The message names the node and the field so a misconfigured
+    // experiment points at its own recipe, not at engine internals.
+    EXPECT_NE(std::string(e.what()).find("node 0"), std::string::npos);
+    EXPECT_NE(std::string(e.what()).find("slots"), std::string::npos);
+  }
+}
+
+TEST(ClusterTest, ValidationRejectsNonPositiveCapacity) {
+  NodeSpec good;
+  good.capacity = Resources{2.0, 4.0, 100.0, 100.0};
+  NodeSpec bad = good;
+  bad.capacity.mem = 0.0;
+  try {
+    ClusterSpec spec({good, bad});
+    FAIL() << "zero-capacity node must be rejected";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("node 1"), std::string::npos);
+    EXPECT_NE(std::string(e.what()).find("capacity"), std::string::npos);
+  }
+}
+
+TEST(ClusterTest, ValidationRejectsNegativeTheta) {
+  NodeSpec node;
+  node.capacity = Resources{2.0, 4.0, 100.0, 100.0};
+  EXPECT_THROW(ClusterSpec({node}, /*theta1=*/-0.1, /*theta2=*/0.5),
+               std::invalid_argument);
+  EXPECT_THROW(ClusterSpec({node}, /*theta1=*/0.5, /*theta2=*/-1.0),
+               std::invalid_argument);
+  EXPECT_THROW(ClusterSpec({node}, 0.5, 0.5, /*mem_mips_equiv=*/0.0),
+               std::invalid_argument);
+}
+
+TEST(ClusterTest, ValidationRejectsZeroRate) {
+  // theta1 = theta2 = 0 zeroes g(k) for every node even though the node
+  // fields themselves are positive.
+  NodeSpec node;
+  node.cpu_mips = 2660.0;
+  node.mem_gb = 4.0;
+  node.capacity = Resources{2.0, 4.0, 100.0, 100.0};
+  EXPECT_THROW(ClusterSpec({node}, /*theta1=*/0.0, /*theta2=*/0.0),
+               std::invalid_argument);
+}
+
+TEST(ClusterTest, ValidationRejectsNonPositiveCpuAndMem) {
+  NodeSpec bad;
+  bad.capacity = Resources{2.0, 4.0, 100.0, 100.0};
+  bad.cpu_mips = -1.0;
+  EXPECT_THROW(ClusterSpec({bad}), std::invalid_argument);
+  bad.cpu_mips = 2660.0;
+  bad.mem_gb = 0.0;
+  EXPECT_THROW(ClusterSpec({bad}), std::invalid_argument);
 }
 
 TEST(ClusterTest, ResourcesFitsAndArithmetic) {
@@ -167,22 +239,40 @@ TEST(EngineTest, MultiNodeSpreadsLoad) {
   EXPECT_EQ(engine.run().makespan, 1 * kSecond);
 }
 
-TEST(EngineTest, ZeroRateClusterSaturatesTimeQueries) {
-  // A fully-degraded cluster (g(k) = 0 for every k) must saturate the
-  // time queries instead of dividing by zero: t^rem pins to kMaxTime and
-  // t^a = t^d - now - t^rem saturates to -kMaxTime rather than wrapping
-  // below INT64_MIN.
+TEST(EngineTest, ZeroRateClusterRejectedAtConstruction) {
+  // A fully-degraded cluster (g(k) = 0 for every k) used to reach the
+  // engine, whose time queries then had to saturate (kMaxTime t^rem,
+  // -kMaxTime t^a) instead of dividing by zero. ClusterSpec validation
+  // now rejects the spec before an Engine can exist — from_seconds(inf)
+  // in start_task/rebase_running was never survivable, so the defect is
+  // caught where it is introduced. The saturation guards remain as
+  // defense-in-depth against runtime rate degradation.
+  EXPECT_THROW(ClusterSpec::uniform(1, 0.0, 0.0, 2), std::invalid_argument);
+}
+
+TEST(EngineTest, LifecycleAdvancesAcrossRun) {
   JobSet jobs;
-  jobs.push_back(make_independent_job(0, 1, 1000.0, 0, 10 * kSecond));
+  jobs.push_back(make_independent_job(0, 1, 1000.0));
   RoundRobinScheduler sched;
-  Engine engine(ClusterSpec::uniform(1, 0.0, 0.0, 2), std::move(jobs), sched,
-                nullptr, fast_params());
-  const Gid g = engine.gid(0, 0);
-  EXPECT_EQ(engine.remaining_time(g), kMaxTime);
-  EXPECT_EQ(engine.allowable_waiting_time(g), -kMaxTime);
-  const Engine::LeafInputs in = engine.leaf_inputs(g);
-  EXPECT_EQ(in.t_rem_s, to_seconds(kMaxTime));
-  EXPECT_EQ(in.t_allow_s, to_seconds(-kMaxTime));
+  Engine engine(test_cluster(1, 1), std::move(jobs), sched, nullptr,
+                fast_params());
+  EXPECT_EQ(engine.lifecycle(), Engine::Lifecycle::kIdle);
+  engine.run();
+  EXPECT_EQ(engine.lifecycle(), Engine::Lifecycle::kDone);
+}
+
+TEST(EngineDeathTest, RunningTwiceIsFatal) {
+  // An Engine is single-shot: the calendar and runtime records are
+  // consumed by run(), so a second run would replay arrivals against
+  // stale state and silently corrupt every metric. The engine fails
+  // loudly (diagnostic + abort) instead.
+  JobSet jobs;
+  jobs.push_back(make_independent_job(0, 1, 1000.0));
+  RoundRobinScheduler sched;
+  Engine engine(test_cluster(1, 1), std::move(jobs), sched, nullptr,
+                fast_params());
+  engine.run();
+  EXPECT_DEATH(engine.run(), "single-shot");
 }
 
 TEST(EngineTest, LeafInputsMatchSeparateAccessors) {

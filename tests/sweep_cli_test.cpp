@@ -1,0 +1,138 @@
+// Black-box tests of the tools/dsp_sweep CLI.
+//
+// The installed binary is driven over small grids: bad flags and tokens
+// must fail with usage, the --json report must parse with the documented
+// schema, and — the grid runner's determinism contract — the report must
+// be byte-identical across --threads settings and across axis order on
+// the command line. Binary locations are injected by tests/CMakeLists.txt.
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+namespace dsp {
+namespace {
+
+struct CliResult {
+  int exit_code = -1;
+  std::string output;  // stdout + stderr
+};
+
+CliResult run_cli(const std::string& bin, const std::string& args) {
+  CliResult result;
+  const std::string command = bin + " " + args + " 2>&1";
+  FILE* pipe = popen(command.c_str(), "r");
+  if (pipe == nullptr) return result;
+  std::array<char, 512> buf;
+  while (fgets(buf.data(), buf.size(), pipe) != nullptr)
+    result.output += buf.data();
+  const int status = pclose(pipe);
+  result.exit_code = WIFEXITED(status) ? WEXITSTATUS(status) : -1;
+  return result;
+}
+
+CliResult sweep(const std::string& args) {
+  return run_cli(DSP_SWEEP_BIN, args);
+}
+
+std::string tmp_path(const std::string& name) {
+  return ::testing::TempDir() + "/" + name;
+}
+
+std::string slurp(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  std::ostringstream os;
+  os << in.rdbuf();
+  return os.str();
+}
+
+// Small and fast: one cluster, two policies, two seeds = 4 scenarios.
+const char* kSmallGrid =
+    "--cluster ec2 --sched dsp --policy srpt,none --jobs 8,12 --seeds 42 "
+    "--scale 0.02";
+
+TEST(SweepCliTest, UnknownFlagFailsWithUsage) {
+  const CliResult r = sweep("--frobnicate");
+  EXPECT_EQ(r.exit_code, 2);
+  EXPECT_NE(r.output.find("usage:"), std::string::npos);
+}
+
+TEST(SweepCliTest, UnknownAxisTokenFails) {
+  EXPECT_EQ(sweep("--policy srpt,fcfs").exit_code, 2);
+  EXPECT_EQ(sweep("--sched fifo").exit_code, 2);
+  EXPECT_EQ(sweep("--cluster palmetto").exit_code, 2);
+}
+
+TEST(SweepCliTest, EmptyAxisFails) {
+  const CliResult r = sweep("--policy ,");
+  EXPECT_EQ(r.exit_code, 2);
+  EXPECT_NE(r.output.find("at least one value"), std::string::npos);
+}
+
+TEST(SweepCliTest, TableListsEveryScenario) {
+  const CliResult r = sweep(std::string(kSmallGrid) + " --threads 1");
+  ASSERT_EQ(r.exit_code, 0) << r.output;
+  for (const char* name : {"ec2-dsp-srpt-j8-s42", "ec2-dsp-srpt-j12-s42",
+                           "ec2-dsp-none-j8-s42", "ec2-dsp-none-j12-s42"})
+    EXPECT_NE(r.output.find(name), std::string::npos) << name;
+}
+
+TEST(SweepCliTest, JsonReportHasDocumentedSchema) {
+  const std::string path = tmp_path("sweep_schema.json");
+  const CliResult r =
+      sweep(std::string(kSmallGrid) + " --threads 1 --json " + path);
+  ASSERT_EQ(r.exit_code, 0) << r.output;
+  const std::string json = slurp(path);
+  ASSERT_FALSE(json.empty());
+  EXPECT_NE(json.find("\"sweep\""), std::string::npos);
+  EXPECT_NE(json.find("\"scenarios\":4"), std::string::npos);
+  EXPECT_NE(json.find("\"metrics\""), std::string::npos);
+  // Wall clock must be zeroed, or the byte-identical contract is void.
+  auto count = [&](const std::string& needle) {
+    std::size_t n = 0;
+    for (std::size_t pos = json.find(needle); pos != std::string::npos;
+         pos = json.find(needle, pos + 1))
+      ++n;
+    return n;
+  };
+  EXPECT_GT(count("\"sim_wall_s\""), 0u);
+  EXPECT_EQ(count("\"sim_wall_s\""), count("\"sim_wall_s\":0"));
+}
+
+TEST(SweepCliTest, ReportIsByteIdenticalAcrossThreadCounts) {
+  const std::string t1 = tmp_path("sweep_t1.json");
+  const std::string t4 = tmp_path("sweep_t4.json");
+  ASSERT_EQ(sweep(std::string(kSmallGrid) + " --threads 1 --json " + t1)
+                .exit_code,
+            0);
+  ASSERT_EQ(sweep(std::string(kSmallGrid) + " --threads 4 --json " + t4)
+                .exit_code,
+            0);
+  const std::string a = slurp(t1);
+  ASSERT_FALSE(a.empty());
+  EXPECT_EQ(a, slurp(t4));
+}
+
+TEST(SweepCliTest, ReportIsByteIdenticalAcrossAxisOrder) {
+  const std::string fwd = tmp_path("sweep_fwd.json");
+  const std::string rev = tmp_path("sweep_rev.json");
+  ASSERT_EQ(sweep("--cluster ec2 --sched dsp --policy srpt,none "
+                  "--jobs 8,12 --seeds 42 --scale 0.02 --threads 2 --json " +
+                  fwd)
+                .exit_code,
+            0);
+  ASSERT_EQ(sweep("--cluster ec2 --sched dsp --policy none,srpt "
+                  "--jobs 12,8 --seeds 42 --scale 0.02 --threads 2 --json " +
+                  rev)
+                .exit_code,
+            0);
+  const std::string a = slurp(fwd);
+  ASSERT_FALSE(a.empty());
+  EXPECT_EQ(a, slurp(rev));
+}
+
+}  // namespace
+}  // namespace dsp

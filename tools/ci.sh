@@ -40,6 +40,9 @@
 #            DSP_EVENT_LOG, dsp_report --json validated by json_check,
 #            and a first-divergence diff of DSP_THREADS=1 vs =4
 #            same-seed logs, which must report zero divergence
+#   sweep-smoke  dsp_sweep over a small scenario grid at --threads 1
+#            and 4: the two --json reports must be byte-identical (the
+#            grid runner's determinism contract) and pass json_check
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -261,7 +264,7 @@ if ! skipped bench-diff; then
   banner "bench diff (vs committed BENCH_hotpath.json)"
   diff_tmp=$(mktemp -d)
   build/bench/micro_bench \
-    --benchmark_filter='BM_Simplex|BM_Milp|BM_PriorityComputeJob|BM_ComputeAll' \
+    --benchmark_filter='BM_Simplex|BM_Milp|BM_PriorityComputeJob|BM_ComputeAll|BM_EngineRun|BM_SweepGrid' \
     --benchmark_min_time=0.05 \
     --json "$diff_tmp/micro.json" >/dev/null
   build/tools/bench_diff bench/BENCH_hotpath.json "$diff_tmp/micro.json" \
@@ -295,6 +298,28 @@ if ! skipped report-smoke; then
     --json "$report_tmp/diff.json"
   "$JSON_CHECK" "$report_tmp/diff.json" report divergence events_a events_b
   rm -rf "$report_tmp"
+fi
+
+if ! skipped sweep-smoke; then
+  banner "sweep smoke (dsp_sweep grid, threads 1 vs 4)"
+  sweep_tmp=$(mktemp -d)
+  SWEEP=build/tools/dsp_sweep
+  JSON_CHECK=build/tools/json_check
+
+  echo "dsp_sweep small grid at --threads 1 and --threads 4"
+  "$SWEEP" --cluster ec2 --sched dsp --policy dsp,srpt,none \
+    --jobs 10,20 --seeds 42 --scale 0.02 \
+    --threads 1 --json "$sweep_tmp/t1.json" >/dev/null
+  "$SWEEP" --cluster ec2 --sched dsp --policy dsp,srpt,none \
+    --jobs 10,20 --seeds 42 --scale 0.02 \
+    --threads 4 --json "$sweep_tmp/t4.json" >/dev/null
+
+  echo "reports must be byte-identical (determinism contract)"
+  cmp "$sweep_tmp/t1.json" "$sweep_tmp/t4.json"
+
+  "$JSON_CHECK" "$sweep_tmp/t1.json" \
+    sweep.scale sweep.scenarios scenarios
+  rm -rf "$sweep_tmp"
 fi
 
 echo
